@@ -1,0 +1,333 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// setBus drives a bus with the bits of val.
+func setBus(s *sim.Simulator, b Bus, val uint64) {
+	for i, net := range b {
+		s.SetInputV(net, logic.FromBit(val>>uint(i)))
+	}
+}
+
+// busVal reads a bus as an unsigned integer; fails the test on X bits.
+func busVal(t *testing.T, s *sim.Simulator, b Bus) uint64 {
+	t.Helper()
+	var v uint64
+	for i, net := range b {
+		switch s.NetVal(net).Get(0) {
+		case logic.One:
+			v |= 1 << uint(i)
+		case logic.Zero:
+		default:
+			t.Fatalf("bus bit %d is X", i)
+		}
+	}
+	return v
+}
+
+func newSim(t *testing.T, n *netlist.Netlist) *sim.Simulator {
+	t.Helper()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s, err := sim.New(n)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	return s
+}
+
+func TestRippleAdder(t *testing.T) {
+	n := netlist.New("add")
+	a := InputBus(n, "a", 16)
+	b := InputBus(n, "b", 16)
+	cin := n.Input("cin")
+	sum, cout := RippleAdder(n, "add", a, b, cin)
+	OutputBus(n, "sum", sum)
+	n.OutputPort("cout", cout)
+	s := newSim(t, n)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := rng.Uint64()&0xFFFF, rng.Uint64()&0xFFFF
+		ci := rng.Uint64() & 1
+		setBus(s, a, av)
+		setBus(s, b, bv)
+		s.SetInputV(cin, logic.FromBit(ci))
+		s.EvalComb()
+		want := av + bv + ci
+		if got := busVal(t, s, sum); got != want&0xFFFF {
+			t.Fatalf("%d+%d+%d: sum=%d want %d", av, bv, ci, got, want&0xFFFF)
+		}
+		wantC := logic.FromBit(want >> 16)
+		if got := s.NetVal(cout).Get(0); got != wantC {
+			t.Fatalf("%d+%d+%d: cout=%s want %s", av, bv, ci, got, wantC)
+		}
+	}
+}
+
+func TestSubtractor(t *testing.T) {
+	n := netlist.New("sub")
+	a := InputBus(n, "a", 12)
+	b := InputBus(n, "b", 12)
+	diff, geq := Subtractor(n, "sub", a, b)
+	OutputBus(n, "d", diff)
+	n.OutputPort("geq", geq)
+	s := newSim(t, n)
+
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := rng.Uint64()&0xFFF, rng.Uint64()&0xFFF
+		setBus(s, a, av)
+		setBus(s, b, bv)
+		s.EvalComb()
+		if got := busVal(t, s, diff); got != (av-bv)&0xFFF {
+			t.Fatalf("%d-%d = %d, want %d", av, bv, got, (av-bv)&0xFFF)
+		}
+		if got := s.NetVal(geq).Get(0); got != logic.FromBool(av >= bv) {
+			t.Fatalf("%d>=%d flag wrong", av, bv)
+		}
+	}
+}
+
+func TestIncrementer(t *testing.T) {
+	n := netlist.New("inc")
+	a := InputBus(n, "a", 8)
+	out := Incrementer(n, "inc", a)
+	OutputBus(n, "o", out)
+	s := newSim(t, n)
+	for v := uint64(0); v < 256; v++ {
+		setBus(s, a, v)
+		s.EvalComb()
+		if got := busVal(t, s, out); got != (v+1)&0xFF {
+			t.Fatalf("inc(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	n := netlist.New("bw")
+	a := InputBus(n, "a", 8)
+	b := InputBus(n, "b", 8)
+	OutputBus(n, "and", AndBus(n, "and_g", a, b))
+	OutputBus(n, "or", OrBus(n, "or_g", a, b))
+	OutputBus(n, "xor", XorBus(n, "xor_g", a, b))
+	OutputBus(n, "not", NotBus(n, "not_g", a))
+	andB, _ := n.NetByName("and_g[0]")
+	_ = andB
+	s := newSim(t, n)
+	rng := rand.New(rand.NewSource(3))
+	get := func(prefix string) Bus {
+		bus := make(Bus, 8)
+		for i := range bus {
+			id, ok := n.NetByName(nameOf(prefix, i))
+			if !ok {
+				t.Fatalf("missing net %s", nameOf(prefix, i))
+			}
+			bus[i] = id
+		}
+		return bus
+	}
+	andO, orO, xorO, notO := get("and_g"), get("or_g"), get("xor_g"), get("not_g")
+	for trial := 0; trial < 50; trial++ {
+		av, bv := rng.Uint64()&0xFF, rng.Uint64()&0xFF
+		setBus(s, a, av)
+		setBus(s, b, bv)
+		s.EvalComb()
+		if busVal(t, s, andO) != av&bv || busVal(t, s, orO) != av|bv ||
+			busVal(t, s, xorO) != av^bv || busVal(t, s, notO) != ^av&0xFF {
+			t.Fatalf("bitwise mismatch at a=%x b=%x", av, bv)
+		}
+	}
+}
+
+func nameOf(prefix string, i int) string {
+	return prefix + "[" + string(rune('0'+i)) + "]"
+}
+
+func TestMuxTreeAndDecoder(t *testing.T) {
+	n := netlist.New("mt")
+	words := make([]Bus, 8)
+	for w := range words {
+		words[w] = ConstBus(n, nameOf("c", w), 8, uint64(w*37+5))
+	}
+	sel := InputBus(n, "sel", 3)
+	out := MuxTree(n, "mt", words, sel)
+	OutputBus(n, "o", out)
+	dec := Decoder(n, "dec", sel)
+	for i, d := range dec {
+		n.OutputPort(nameOf("dq", i), d)
+	}
+	s := newSim(t, n)
+	for v := uint64(0); v < 8; v++ {
+		setBus(s, sel, v)
+		s.EvalComb()
+		if got := busVal(t, s, out); got != (v*37+5)&0xFF {
+			t.Fatalf("mux sel=%d got %d", v, got)
+		}
+		for i, d := range dec {
+			want := logic.FromBool(uint64(i) == v)
+			if got := s.NetVal(d).Get(0); got != want {
+				t.Fatalf("decoder out %d at sel %d = %s", i, v, got)
+			}
+		}
+	}
+}
+
+func TestEqBusAndReduce(t *testing.T) {
+	n := netlist.New("eq")
+	a := InputBus(n, "a", 7)
+	b := InputBus(n, "b", 7)
+	eq := EqBus(n, "eq", a, b)
+	ro := ReduceOr(n, "ro", a)
+	n.OutputPort("eqo", eq)
+	n.OutputPort("roo", ro)
+	s := newSim(t, n)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		av := rng.Uint64() & 0x7F
+		bv := av
+		if trial%2 == 0 {
+			bv = rng.Uint64() & 0x7F
+		}
+		setBus(s, a, av)
+		setBus(s, b, bv)
+		s.EvalComb()
+		if got := s.NetVal(eq).Get(0); got != logic.FromBool(av == bv) {
+			t.Fatalf("eq(%x,%x) = %s", av, bv, got)
+		}
+		if got := s.NetVal(ro).Get(0); got != logic.FromBool(av != 0) {
+			t.Fatalf("reduceOr(%x) = %s", av, got)
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	n := netlist.New("sh")
+	a := InputBus(n, "a", 16)
+	amt := InputBus(n, "amt", 4)
+	sll := BarrelShifter(n, "sll", a, amt, ShiftLeft)
+	srl := BarrelShifter(n, "srl", a, amt, ShiftRightLogical)
+	sra := BarrelShifter(n, "sra", a, amt, ShiftRightArith)
+	OutputBus(n, "sllo", sll)
+	OutputBus(n, "srlo", srl)
+	OutputBus(n, "srao", sra)
+	s := newSim(t, n)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		av := rng.Uint64() & 0xFFFF
+		k := uint(rng.Intn(16))
+		setBus(s, a, av)
+		setBus(s, amt, uint64(k))
+		s.EvalComb()
+		if got := busVal(t, s, sll); got != (av<<k)&0xFFFF {
+			t.Fatalf("sll %x<<%d = %x", av, k, got)
+		}
+		if got := busVal(t, s, srl); got != av>>k {
+			t.Fatalf("srl %x>>%d = %x", av, k, got)
+		}
+		signed := int16(av)
+		if got := busVal(t, s, sra); got != uint64(uint16(signed>>k)) {
+			t.Fatalf("sra %x>>%d = %x want %x", av, k, got, uint16(signed>>k))
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	n := netlist.New("mul")
+	a := InputBus(n, "a", 12)
+	b := InputBus(n, "b", 12)
+	p := ArrayMultiplier(n, "mul", a, b)
+	OutputBus(n, "p", p)
+	s := newSim(t, n)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		av, bv := rng.Uint64()&0xFFF, rng.Uint64()&0xFFF
+		setBus(s, a, av)
+		setBus(s, b, bv)
+		s.EvalComb()
+		if got := busVal(t, s, p); got != (av*bv)&0xFFF {
+			t.Fatalf("%d*%d = %d, want %d", av, bv, got, (av*bv)&0xFFF)
+		}
+	}
+}
+
+func TestRegisterEnAndRegFile(t *testing.T) {
+	n := netlist.New("rf")
+	wdata := InputBus(n, "wd", 8)
+	waddr := InputBus(n, "wa", 2)
+	ra0 := InputBus(n, "ra0", 2)
+	ra1 := InputBus(n, "ra1", 2)
+	wen := n.Input("wen")
+	rstn := n.Input("rstn")
+	rf := NewRegFile(n, "rf", 4, 8, wdata, waddr, wen, rstn, []Bus{ra0, ra1})
+	OutputBus(n, "rd0", rf.Read(0))
+	OutputBus(n, "rd1", rf.Read(1))
+	s := newSim(t, n)
+
+	// Reset.
+	s.SetInputV(rstn, logic.Zero)
+	s.SetInputV(wen, logic.Zero)
+	setBus(s, wdata, 0)
+	setBus(s, waddr, 0)
+	setBus(s, ra0, 0)
+	setBus(s, ra1, 0)
+	s.Step()
+	s.SetInputV(rstn, logic.One)
+
+	model := [4]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		w := uint64(rng.Intn(4))
+		d := rng.Uint64() & 0xFF
+		we := rng.Intn(3) > 0
+		setBus(s, waddr, w)
+		setBus(s, wdata, d)
+		s.SetInputV(wen, logic.FromBool(we))
+		r0, r1 := uint64(rng.Intn(4)), uint64(rng.Intn(4))
+		setBus(s, ra0, r0)
+		setBus(s, ra1, r1)
+		s.EvalComb()
+		if got := busVal(t, s, rf.Read(0)); got != model[r0] {
+			t.Fatalf("trial %d: read0[%d] = %d, want %d", trial, r0, got, model[r0])
+		}
+		if got := busVal(t, s, rf.Read(1)); got != model[r1] {
+			t.Fatalf("trial %d: read1[%d] = %d, want %d", trial, r1, got, model[r1])
+		}
+		s.CommitState()
+		if we {
+			model[w] = d
+		}
+	}
+
+	// FFGates must return one gate per bit, each a flip-flop.
+	ffg := rf.FFGates(n)
+	if len(ffg) != 4 || len(ffg[0]) != 8 {
+		t.Fatal("FFGates shape wrong")
+	}
+	for _, word := range ffg {
+		for _, g := range word {
+			if !n.Gate(g).Kind.IsState() {
+				t.Fatalf("FFGates returned non-FF %v", n.Gate(g).Name)
+			}
+		}
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	n := netlist.New("cb")
+	c := ConstBus(n, "k", 8, 0xA5)
+	OutputBus(n, "o", c)
+	s := newSim(t, n)
+	s.EvalComb()
+	if got := busVal(t, s, c); got != 0xA5 {
+		t.Fatalf("ConstBus = %x", got)
+	}
+}

@@ -1,0 +1,82 @@
+package dp
+
+import (
+	"fmt"
+
+	"olfui/internal/netlist"
+)
+
+// ShiftKind selects the barrel shifter operation.
+type ShiftKind uint8
+
+// Barrel shifter operations.
+const (
+	ShiftLeft ShiftKind = iota
+	ShiftRightLogical
+	ShiftRightArith
+)
+
+// BarrelShifter shifts a by the amount bus (log2(width) bits) in log stages.
+func BarrelShifter(n *netlist.Netlist, name string, a Bus, amount Bus, kind ShiftKind) Bus {
+	width := len(a)
+	zero := n.Tie0(name + "_z")
+	cur := append(Bus(nil), a...)
+	for s, sel := range amount {
+		dist := 1 << uint(s)
+		if dist >= width {
+			break
+		}
+		shifted := make(Bus, width)
+		for i := 0; i < width; i++ {
+			switch kind {
+			case ShiftLeft:
+				if i-dist >= 0 {
+					shifted[i] = cur[i-dist]
+				} else {
+					shifted[i] = zero
+				}
+			case ShiftRightLogical:
+				if i+dist < width {
+					shifted[i] = cur[i+dist]
+				} else {
+					shifted[i] = zero
+				}
+			case ShiftRightArith:
+				if i+dist < width {
+					shifted[i] = cur[i+dist]
+				} else {
+					shifted[i] = cur[width-1]
+				}
+			}
+		}
+		cur = Mux2Bus(n, fmt.Sprintf("%s_st%d", name, s), cur, shifted, sel)
+	}
+	return cur
+}
+
+// ArrayMultiplier builds an unsigned array multiplier returning the low
+// len(a) bits of a*b. It is the largest combinational block in the synthetic
+// core and exists mostly to give the fault universe a realistic size.
+func ArrayMultiplier(n *netlist.Netlist, name string, a, b Bus) Bus {
+	mustSameWidth(a, b)
+	width := len(a)
+	zero := n.Tie0(name + "_z")
+
+	// Partial product row 0.
+	acc := make(Bus, width)
+	for i := 0; i < width; i++ {
+		acc[i] = n.And(fmt.Sprintf("%s_pp0_%d", name, i), a[i], b[0])
+	}
+	for row := 1; row < width; row++ {
+		// Partial products for this row, aligned: pp[i] = a[i] AND b[row],
+		// added into acc starting at bit `row`.
+		carry := zero
+		for i := row; i < width; i++ {
+			pp := n.And(fmt.Sprintf("%s_pp%d_%d", name, row, i-row), a[i-row], b[row])
+			var s netlist.NetID
+			s, carry = FullAdder(n, fmt.Sprintf("%s_fa%d_%d", name, row, i), acc[i], pp, carry)
+			acc[i] = s
+		}
+	}
+	return acc
+}

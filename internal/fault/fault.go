@@ -1,0 +1,161 @@
+// Package fault implements the single stuck-at fault model: fault-universe
+// enumeration over gate pins, dense fault IDs, fault sets, and classical
+// structural equivalence collapsing.
+//
+// Fault accounting convention (matches what ATPG tools report before
+// collapsing, and what the paper's Table I counts): every input pin and
+// every output pin of every live, non-synthetic gate contributes two faults,
+// stuck-at-0 and stuck-at-1. Primary inputs contribute their output pin,
+// primary outputs their input pin.
+//
+// Fault IDs are assigned on the *original* netlist and — because circuit
+// manipulation preserves gate IDs (see package netlist) — remain valid on
+// every manipulated clone, which is how the identification flow attributes
+// untestability discovered on a manipulated circuit back to original faults.
+package fault
+
+import (
+	"fmt"
+
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// OutputPin is the Pin value denoting a gate's output pin in a Site.
+const OutputPin int32 = -1
+
+// Site is one fault location: a specific pin of a specific gate.
+type Site struct {
+	Gate netlist.GateID
+	Pin  int32 // input pin index, or OutputPin
+}
+
+// Fault is a single stuck-at fault.
+type Fault struct {
+	Site
+	SA logic.V // logic.Zero or logic.One
+}
+
+// FID is a dense fault index within a Universe: 2*site + polarity.
+type FID int32
+
+// InvalidFID marks a missing fault.
+const InvalidFID FID = -1
+
+// Universe is the enumerated stuck-at fault universe of a netlist.
+type Universe struct {
+	N     *netlist.Netlist
+	sites []Site
+	// siteIdx[g] is the index of gate g's first site, or -1 if the gate
+	// contributes no sites (dead or synthetic).
+	siteIdx []int32
+}
+
+// NewUniverse enumerates the fault universe of n. Gates flagged synthetic
+// and dead gates contribute no faults.
+func NewUniverse(n *netlist.Netlist) *Universe {
+	u := &Universe{N: n, siteIdx: make([]int32, len(n.Gates))}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		u.siteIdx[i] = -1
+		if g.Kind == netlist.KDead || g.Flags&netlist.FSynthetic != 0 {
+			continue
+		}
+		u.siteIdx[i] = int32(len(u.sites))
+		for p := range g.Ins {
+			u.sites = append(u.sites, Site{netlist.GateID(i), int32(p)})
+		}
+		if g.Out != netlist.InvalidNet {
+			u.sites = append(u.sites, Site{netlist.GateID(i), OutputPin})
+		}
+	}
+	return u
+}
+
+// NumSites returns the number of fault-site pins.
+func (u *Universe) NumSites() int { return len(u.sites) }
+
+// NumFaults returns the total number of stuck-at faults (2 per site).
+func (u *Universe) NumFaults() int { return 2 * len(u.sites) }
+
+// FaultOf returns the fault with the given dense ID.
+func (u *Universe) FaultOf(id FID) Fault {
+	s := u.sites[int(id)>>1]
+	sa := logic.Zero
+	if id&1 == 1 {
+		sa = logic.One
+	}
+	return Fault{Site: s, SA: sa}
+}
+
+// Site returns site i.
+func (u *Universe) Site(i int) Site { return u.sites[i] }
+
+// IDOf returns the dense ID of f, or InvalidFID if the site is not in the
+// universe (synthetic gate, dead gate, or bad pin).
+func (u *Universe) IDOf(f Fault) FID {
+	base := u.siteIdx[f.Gate]
+	if base < 0 {
+		return InvalidFID
+	}
+	g := &u.N.Gates[f.Gate]
+	var off int32
+	switch {
+	case f.Pin == OutputPin:
+		if g.Out == netlist.InvalidNet {
+			return InvalidFID
+		}
+		off = int32(len(g.Ins))
+	case int(f.Pin) < len(g.Ins):
+		off = f.Pin
+	default:
+		return InvalidFID
+	}
+	id := FID(2*(base+off) + 0)
+	if f.SA == logic.One {
+		id++
+	}
+	return id
+}
+
+// NetOf returns the net the fault site sits on.
+func (u *Universe) NetOf(s Site) netlist.NetID {
+	g := &u.N.Gates[s.Gate]
+	if s.Pin == OutputPin {
+		return g.Out
+	}
+	return g.Ins[s.Pin]
+}
+
+// Describe renders a fault human-readably, e.g. "u1/A1 s-a-0".
+func (u *Universe) Describe(f Fault) string {
+	g := &u.N.Gates[f.Gate]
+	pin := "Z" // output
+	if f.Pin != OutputPin {
+		pin = fmt.Sprintf("A%d", f.Pin)
+	}
+	return fmt.Sprintf("%s/%s s-a-%s", g.Name, pin, f.SA)
+}
+
+// GateFaults returns the dense IDs of all faults on gate g, in pin order.
+func (u *Universe) GateFaults(g netlist.GateID) []FID {
+	base := u.siteIdx[g]
+	if base < 0 {
+		return nil
+	}
+	n := u.N.Gates[g].NumPins()
+	out := make([]FID, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, FID(2*(base+int32(i))), FID(2*(base+int32(i))+1))
+	}
+	return out
+}
+
+// PinFaults returns the (s-a-0, s-a-1) fault IDs of one pin of gate g.
+func (u *Universe) PinFaults(g netlist.GateID, pin int32) (FID, FID) {
+	f0 := u.IDOf(Fault{Site{g, pin}, logic.Zero})
+	if f0 == InvalidFID {
+		return InvalidFID, InvalidFID
+	}
+	return f0, f0 + 1
+}

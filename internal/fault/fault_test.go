@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"testing"
+
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+func build(t *testing.T) (*netlist.Netlist, *Universe) {
+	t.Helper()
+	n := netlist.New("f")
+	a, b := n.Input("a"), n.Input("b")
+	y := n.And("y", a, b)
+	q := n.DFF("q", y)
+	n.OutputPort("po", q)
+	return n, NewUniverse(n)
+}
+
+func TestUniverseEnumeration(t *testing.T) {
+	n, u := build(t)
+	// pins: a.out, b.out, y.in0, y.in1, y.out, q.in, q.out, po.in = 8
+	if u.NumSites() != 8 {
+		t.Fatalf("NumSites = %d, want 8", u.NumSites())
+	}
+	if u.NumFaults() != 16 {
+		t.Fatalf("NumFaults = %d, want 16", u.NumFaults())
+	}
+	_ = n
+}
+
+func TestIDOfRoundTrip(t *testing.T) {
+	_, u := build(t)
+	for i := 0; i < u.NumFaults(); i++ {
+		f := u.FaultOf(FID(i))
+		if got := u.IDOf(f); got != FID(i) {
+			t.Fatalf("round trip failed at %d: %v -> %d", i, f, got)
+		}
+	}
+}
+
+func TestIDOfInvalid(t *testing.T) {
+	n, u := build(t)
+	id, _ := n.GateByName("po")
+	// Output port has no output pin.
+	if got := u.IDOf(Fault{Site{id, OutputPin}, logic.Zero}); got != InvalidFID {
+		t.Error("output pin of KOutput should be invalid")
+	}
+	if got := u.IDOf(Fault{Site{id, 7}, logic.Zero}); got != InvalidFID {
+		t.Error("out-of-range pin should be invalid")
+	}
+}
+
+func TestSyntheticGatesExcluded(t *testing.T) {
+	n, _ := build(t)
+	before := NewUniverse(n).NumFaults()
+	n.AddSyntheticTie("tie", true)
+	after := NewUniverse(n).NumFaults()
+	if before != after {
+		t.Errorf("synthetic gate added faults: %d -> %d", before, after)
+	}
+}
+
+func TestNetOfAndDescribe(t *testing.T) {
+	n, u := build(t)
+	yGate, _ := n.GateByName("y")
+	aNet, _ := n.NetByName("a")
+	if got := u.NetOf(Site{yGate, 0}); got != aNet {
+		t.Errorf("NetOf(y.in0) = %d, want a", got)
+	}
+	f := Fault{Site{yGate, 0}, logic.Zero}
+	if got := u.Describe(f); got != "y/A0 s-a-0" {
+		t.Errorf("Describe = %q", got)
+	}
+	f2 := Fault{Site{yGate, OutputPin}, logic.One}
+	if got := u.Describe(f2); got != "y/Z s-a-1" {
+		t.Errorf("Describe out = %q", got)
+	}
+}
+
+func TestGateAndPinFaults(t *testing.T) {
+	n, u := build(t)
+	yGate, _ := n.GateByName("y")
+	fs := u.GateFaults(yGate)
+	if len(fs) != 6 { // 2 ins + 1 out, 2 polarities
+		t.Fatalf("GateFaults = %d, want 6", len(fs))
+	}
+	f0, f1 := u.PinFaults(yGate, OutputPin)
+	if u.FaultOf(f0).SA != logic.Zero || u.FaultOf(f1).SA != logic.One {
+		t.Error("PinFaults polarity order wrong")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	_, u := build(t)
+	s := NewSet(u)
+	s.Add(1)
+	s.Add(5)
+	s.Add(15)
+	if !s.Has(5) || s.Has(4) || s.Count() != 3 {
+		t.Fatal("basic set ops wrong")
+	}
+	other := NewSet(u)
+	other.Add(5)
+	other.Add(7)
+	un := s.Clone()
+	un.UnionWith(other)
+	if un.Count() != 4 {
+		t.Errorf("union count = %d", un.Count())
+	}
+	di := s.Clone()
+	di.DiffWith(other)
+	if di.Count() != 2 || di.Has(5) {
+		t.Error("diff wrong")
+	}
+	in := s.Clone()
+	in.IntersectWith(other)
+	if in.Count() != 1 || !in.Has(5) {
+		t.Error("intersect wrong")
+	}
+	ids := s.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 15 {
+		t.Errorf("IDs = %v", ids)
+	}
+	s.Remove(5)
+	if s.Has(5) || s.Count() != 2 {
+		t.Error("remove wrong")
+	}
+}
+
+func TestCollapseBufferChain(t *testing.T) {
+	n := netlist.New("chain")
+	in := n.Input("in")
+	cur := in
+	for i := 0; i < 5; i++ {
+		cur = n.Buf("", cur)
+	}
+	n.OutputPort("po", cur)
+	u := NewUniverse(n)
+	c := NewCollapse(u)
+	// All s-a-0 on the chain collapse to one class, all s-a-1 to another:
+	// 2 classes total (PO input pin merges through the fanout-free rule).
+	if got := c.NumClasses(); got != 2 {
+		t.Errorf("buffer chain classes = %d, want 2", got)
+	}
+}
+
+func TestCollapseInverter(t *testing.T) {
+	n := netlist.New("inv")
+	in := n.Input("in")
+	y := n.Not("y", in)
+	n.OutputPort("po", y)
+	u := NewUniverse(n)
+	c := NewCollapse(u)
+	invGate, _ := n.GateByName("y")
+	in0, in1 := u.PinFaults(invGate, 0)
+	out0, out1 := u.PinFaults(invGate, OutputPin)
+	if !c.SameClass(in0, out1) || !c.SameClass(in1, out0) {
+		t.Error("NOT equivalence wrong polarity")
+	}
+	if c.SameClass(in0, out0) {
+		t.Error("NOT must not merge same polarities")
+	}
+}
+
+func TestCollapseAndOrRules(t *testing.T) {
+	n := netlist.New("ao")
+	a, b, cIn, d := n.Input("a"), n.Input("b"), n.Input("c"), n.Input("d")
+	y := n.And("y", a, b)
+	z := n.Or("z", cIn, d)
+	n.OutputPort("p1", y)
+	n.OutputPort("p2", z)
+	u := NewUniverse(n)
+	c := NewCollapse(u)
+	yG, _ := n.GateByName("y")
+	zG, _ := n.GateByName("z")
+	y00, _ := u.PinFaults(yG, 0)
+	y10, _ := u.PinFaults(yG, 1)
+	yo0, _ := u.PinFaults(yG, OutputPin)
+	if !c.SameClass(y00, yo0) || !c.SameClass(y10, yo0) {
+		t.Error("AND s-a-0 inputs must merge with output s-a-0")
+	}
+	_, z01 := u.PinFaults(zG, 0)
+	_, zo1 := u.PinFaults(zG, OutputPin)
+	if !c.SameClass(z01, zo1) {
+		t.Error("OR s-a-1 inputs must merge with output s-a-1")
+	}
+	_, y01 := u.PinFaults(yG, 0)
+	_, yo1 := u.PinFaults(yG, OutputPin)
+	if c.SameClass(y01, yo1) {
+		t.Error("AND s-a-1 input must NOT merge with output s-a-1")
+	}
+}
+
+func TestCollapseRepIdempotentAndPartition(t *testing.T) {
+	n := netlist.New("big")
+	a, b, cc := n.Input("a"), n.Input("b"), n.Input("c")
+	x := n.Nand("x", a, b)
+	y := n.Nor("y", x, cc)
+	z := n.Xor("z", x, y)
+	n.OutputPort("po", z)
+	u := NewUniverse(n)
+	c := NewCollapse(u)
+	classes := map[FID]int{}
+	for i := 0; i < u.NumFaults(); i++ {
+		r := c.Rep(FID(i))
+		if c.Rep(r) != r {
+			t.Fatalf("Rep not idempotent at %d", i)
+		}
+		classes[r]++
+	}
+	total := 0
+	for _, n := range classes {
+		total += n
+	}
+	if total != u.NumFaults() {
+		t.Error("classes do not partition the universe")
+	}
+	if len(classes) >= u.NumFaults() {
+		t.Error("no collapsing happened at all")
+	}
+	if len(classes) != c.NumClasses() {
+		t.Error("NumClasses inconsistent with Rep partition")
+	}
+}

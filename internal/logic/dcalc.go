@@ -1,0 +1,73 @@
+package logic
+
+import "fmt"
+
+// D5 is a value of the five-valued D-calculus used by the ATPG engine.
+//
+// A D5 value is a pair (good, faulty) of ternary values describing the line
+// value in the fault-free and in the faulty machine simultaneously:
+//
+//	Zero5 = (0,0)   One5 = (1,1)   X5 = (X,X)
+//	D     = (1,0)   DBar  = (0,1)
+//
+// The composite encoding (two ternary digits, 3x3 = 9 combinations) also
+// represents partially-known pairs such as (1,X), which arise naturally when
+// propagating through partially assigned circuits.
+type D5 struct {
+	Good, Faulty V
+}
+
+// The five canonical D-calculus values.
+var (
+	Zero5 = D5{Zero, Zero}
+	One5  = D5{One, One}
+	X5    = D5{X, X}
+	D     = D5{One, Zero}  // 1 in the good machine, 0 in the faulty machine
+	DBar  = D5{Zero, One}  // 0 in the good machine, 1 in the faulty machine
+)
+
+// Lift converts a ternary value into the D5 pair (v, v).
+func Lift(v V) D5 { return D5{v, v} }
+
+// IsError reports whether d carries a fault effect (D or D̄), i.e. the good
+// and faulty values are both known and differ.
+func (d D5) IsError() bool {
+	return d.Good.IsKnown() && d.Faulty.IsKnown() && d.Good != d.Faulty
+}
+
+// IsKnown reports whether both components are known.
+func (d D5) IsKnown() bool { return d.Good.IsKnown() && d.Faulty.IsKnown() }
+
+// Not returns the complement of d in both machines.
+func (d D5) Not() D5 { return D5{d.Good.Not(), d.Faulty.Not()} }
+
+// And returns the component-wise conjunction.
+func (d D5) And(e D5) D5 { return D5{d.Good.And(e.Good), d.Faulty.And(e.Faulty)} }
+
+// Or returns the component-wise disjunction.
+func (d D5) Or(e D5) D5 { return D5{d.Good.Or(e.Good), d.Faulty.Or(e.Faulty)} }
+
+// Xor returns the component-wise exclusive-or.
+func (d D5) Xor(e D5) D5 { return D5{d.Good.Xor(e.Good), d.Faulty.Xor(e.Faulty)} }
+
+// Mux5 returns the component-wise 2:1 multiplexer value.
+func Mux5(s, d0, d1 D5) D5 {
+	return D5{Mux(s.Good, d0.Good, d1.Good), Mux(s.Faulty, d0.Faulty, d1.Faulty)}
+}
+
+// String implements fmt.Stringer, using the classic D-calculus notation.
+func (d D5) String() string {
+	switch d {
+	case Zero5:
+		return "0"
+	case One5:
+		return "1"
+	case X5:
+		return "X"
+	case D:
+		return "D"
+	case DBar:
+		return "D'"
+	}
+	return fmt.Sprintf("(%s/%s)", d.Good, d.Faulty)
+}

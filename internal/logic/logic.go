@@ -1,0 +1,120 @@
+// Package logic provides the multi-valued logic algebras used throughout the
+// library: the ternary set {0, 1, X} used by good-machine simulation and
+// structural analysis, the five-valued D-calculus {0, 1, X, D, D̄} used by the
+// ATPG engine, and 64-way dual-rail parallel words used by the pattern- and
+// fault-parallel simulators.
+//
+// The ternary algebra follows the usual pessimistic Kleene semantics: X is
+// "unknown", and a gate output is X unless the known inputs force a value.
+package logic
+
+import "fmt"
+
+// V is a ternary logic value.
+type V uint8
+
+// Ternary logic values. Zero/One are the Boolean constants; X is unknown.
+const (
+	Zero V = iota
+	One
+	X
+)
+
+// FromBool converts a Go bool to a ternary value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromBit converts the low bit of an integer to a ternary value.
+func FromBit(b uint64) V { return V(b & 1) }
+
+// IsKnown reports whether v is 0 or 1 (not X).
+func (v V) IsKnown() bool { return v == Zero || v == One }
+
+// Not returns the ternary complement of v.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// And returns the ternary conjunction of v and w.
+func (v V) And(w V) V {
+	if v == Zero || w == Zero {
+		return Zero
+	}
+	if v == One && w == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the ternary disjunction of v and w.
+func (v V) Or(w V) V {
+	if v == One || w == One {
+		return One
+	}
+	if v == Zero && w == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the ternary exclusive-or of v and w.
+func (v V) Xor(w V) V {
+	if !v.IsKnown() || !w.IsKnown() {
+		return X
+	}
+	if v == w {
+		return Zero
+	}
+	return One
+}
+
+// Mux returns the ternary 2:1 multiplexer value: d0 when s=0, d1 when s=1.
+// When s is X the result is known only if both data inputs agree.
+func Mux(s, d0, d1 V) V {
+	switch s {
+	case Zero:
+		return d0
+	case One:
+		return d1
+	}
+	if d0 == d1 && d0.IsKnown() {
+		return d0
+	}
+	return X
+}
+
+// String implements fmt.Stringer.
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// ParseV parses "0", "1" or "X"/"x" into a ternary value.
+func ParseV(s string) (V, error) {
+	switch s {
+	case "0":
+		return Zero, nil
+	case "1":
+		return One, nil
+	case "X", "x":
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: cannot parse %q as a ternary value", s)
+}

@@ -1,0 +1,89 @@
+package netlist
+
+// Clone returns a deep copy of the netlist. Gate and net IDs are preserved,
+// which is the contract the fault-accounting machinery relies on: fault
+// sites (gate, pin) on the original remain valid on every clone.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:       n.Name,
+		Gates:      make([]Gate, len(n.Gates)),
+		Nets:       make([]Net, len(n.Nets)),
+		Groups:     make(map[string][]GateID, len(n.Groups)),
+		netByName:  make(map[string]NetID, len(n.netByName)),
+		gateByName: make(map[string]GateID, len(n.gateByName)),
+		anon:       n.anon,
+	}
+	for i := range n.Gates {
+		g := n.Gates[i]
+		g.Ins = append([]NetID(nil), g.Ins...)
+		c.Gates[i] = g
+	}
+	for i := range n.Nets {
+		net := n.Nets[i]
+		net.Fanout = append([]Pin(nil), net.Fanout...)
+		c.Nets[i] = net
+	}
+	for k, v := range n.Groups {
+		c.Groups[k] = append([]GateID(nil), v...)
+	}
+	for k, v := range n.netByName {
+		c.netByName[k] = v
+	}
+	for k, v := range n.gateByName {
+		c.gateByName[k] = v
+	}
+	return c
+}
+
+// Mutators used by the manip package. They maintain the driver/fanout
+// invariants that Validate checks.
+
+// RewirePin disconnects input pin p and reconnects it to net to.
+func (n *Netlist) RewirePin(p Pin, to NetID) {
+	g := &n.Gates[p.Gate]
+	from := g.Ins[p.In]
+	n.removeFanout(from, p)
+	g.Ins[p.In] = to
+	n.connect(to, p)
+}
+
+// KillGate tombstones a gate: its pins are disconnected from their nets and
+// its output net (if any) loses its driver. The gate keeps its name and ID.
+func (n *Netlist) KillGate(id GateID) {
+	g := &n.Gates[id]
+	if g.Kind == KDead {
+		return
+	}
+	for pin, in := range g.Ins {
+		n.removeFanout(in, Pin{id, int32(pin)})
+	}
+	if g.Out != InvalidNet {
+		n.Nets[g.Out].Driver = InvalidGate
+	}
+	g.Kind = KDead
+	g.Ins = nil
+	g.Out = InvalidNet
+}
+
+// AddSyntheticTie adds a tie gate flagged FSynthetic and returns its output
+// net. Synthetic gates are excluded from fault universes.
+func (n *Netlist) AddSyntheticTie(name string, one bool) NetID {
+	k := KTie0
+	if one {
+		k = KTie1
+	}
+	id := n.AddGate(k, name)
+	n.Gates[id].Flags |= FSynthetic
+	return n.Gates[id].Out
+}
+
+func (n *Netlist) removeFanout(net NetID, p Pin) {
+	fo := n.Nets[net].Fanout
+	for i, q := range fo {
+		if q == p {
+			fo[i] = fo[len(fo)-1]
+			n.Nets[net].Fanout = fo[:len(fo)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises a netlist.
+type Stats struct {
+	Name      string
+	Gates     int // live gates
+	Nets      int
+	ByKind    map[Kind]int
+	FFs       int
+	PIs, POs  int
+	FaultPins int // fault-site pins over non-synthetic live gates
+}
+
+// CollectStats walks the netlist once and summarises it.
+func (n *Netlist) CollectStats() Stats {
+	s := Stats{Name: n.Name, Nets: len(n.Nets), ByKind: map[Kind]int{}}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == KDead {
+			continue
+		}
+		s.Gates++
+		s.ByKind[g.Kind]++
+		switch {
+		case g.Kind.IsState():
+			s.FFs++
+		case g.Kind == KInput:
+			s.PIs++
+		case g.Kind == KOutput:
+			s.POs++
+		}
+		if g.Flags&FSynthetic == 0 {
+			s.FaultPins += g.NumPins()
+		}
+	}
+	return s
+}
+
+// NumFaults returns the size of the uncollapsed stuck-at fault universe
+// (two faults per fault-site pin).
+func (s Stats) NumFaults() int { return 2 * s.FaultPins }
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d gates, %d nets, %d FFs, %d PIs, %d POs, %d stuck-at faults",
+		s.Name, s.Gates, s.Nets, s.FFs, s.PIs, s.POs, s.NumFaults())
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package netlist
+
+import "fmt"
+
+// Validate checks structural consistency of the netlist:
+//
+//   - net driver and fanout back-pointers agree with gate pin lists;
+//   - every live gate input reads a valid net;
+//   - pin counts match the gate kind;
+//   - the combinational part is acyclic.
+//
+// Floating nets (no fanout) and undriven nets are legal — circuit
+// manipulation creates both on purpose — but undriven nets read by a live
+// gate are reported, because simulation would see them as permanently X.
+func (n *Netlist) Validate() error {
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == KDead {
+			continue
+		}
+		if err := checkPinCount(g.Kind, len(g.Ins)); err != nil {
+			return fmt.Errorf("gate %q: %w", g.Name, err)
+		}
+		for pin, in := range g.Ins {
+			if in < 0 || int(in) >= len(n.Nets) {
+				return fmt.Errorf("gate %q pin %d: invalid net %d", g.Name, pin, in)
+			}
+			if !n.hasFanout(in, Pin{GateID(i), int32(pin)}) {
+				return fmt.Errorf("gate %q pin %d: net %q missing fanout back-pointer", g.Name, pin, n.Nets[in].Name)
+			}
+		}
+		if g.Out != InvalidNet {
+			if g.Out < 0 || int(g.Out) >= len(n.Nets) {
+				return fmt.Errorf("gate %q: invalid output net %d", g.Name, g.Out)
+			}
+			if n.Nets[g.Out].Driver != GateID(i) {
+				return fmt.Errorf("gate %q: output net %q has driver %d", g.Name, n.Nets[g.Out].Name, n.Nets[g.Out].Driver)
+			}
+		}
+	}
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.Driver != InvalidGate {
+			d := &n.Gates[net.Driver]
+			if d.Kind != KDead && d.Out != NetID(i) {
+				return fmt.Errorf("net %q: driver %q does not drive it", net.Name, d.Name)
+			}
+		}
+		for _, p := range net.Fanout {
+			g := &n.Gates[p.Gate]
+			if g.Kind == KDead {
+				continue
+			}
+			if int(p.In) >= len(g.Ins) || g.Ins[p.In] != NetID(i) {
+				return fmt.Errorf("net %q: stale fanout pin to gate %q pin %d", net.Name, g.Name, p.In)
+			}
+		}
+	}
+	if _, err := n.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (n *Netlist) hasFanout(net NetID, p Pin) bool {
+	for _, q := range n.Nets[net].Fanout {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// UndrivenReadNets returns live nets that are read by at least one live gate
+// but have no live driver. Simulation treats them as constant X.
+func (n *Netlist) UndrivenReadNets() []NetID {
+	var out []NetID
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		driven := net.Driver != InvalidGate && n.Gates[net.Driver].Kind != KDead
+		if driven {
+			continue
+		}
+		for _, p := range net.Fanout {
+			if n.Gates[p.Gate].Kind != KDead {
+				out = append(out, NetID(i))
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// Pattern is one combinational input vector, indexed like the slice returned
+// by Netlist.PrimaryInputs.
+type Pattern []logic.V
+
+// ObsPoint is an observation point: a specific gate input pin whose value is
+// compared between good and faulty machines. Using pins rather than nets
+// makes faults on the observation pin itself (e.g. a primary-output input
+// pin) detectable.
+type ObsPoint struct {
+	Gate netlist.GateID
+	Pin  int32
+}
+
+// CombObsPoints returns the standard full-scan observation points of a
+// netlist: primary-output input pins and flip-flop data pins.
+func CombObsPoints(n *netlist.Netlist) []ObsPoint {
+	var pts []ObsPoint
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		switch g.Kind {
+		case netlist.KOutput:
+			pts = append(pts, ObsPoint{netlist.GateID(i), 0})
+		case netlist.KDFF, netlist.KDFFR:
+			pts = append(pts, ObsPoint{netlist.GateID(i), netlist.DffD})
+		}
+	}
+	return pts
+}
+
+// OutputObsPoints returns only the primary-output input pins — the
+// observation points available to an on-line functional test.
+func OutputObsPoints(n *netlist.Netlist) []ObsPoint {
+	var pts []ObsPoint
+	for i := range n.Gates {
+		if n.Gates[i].Kind == netlist.KOutput {
+			pts = append(pts, ObsPoint{netlist.GateID(i), 0})
+		}
+	}
+	return pts
+}
+
+// ObsVal reads the current value at an observation point, with injections
+// applied.
+func (s *Simulator) ObsVal(p ObsPoint) logic.PV {
+	return s.pinVal(p.Gate, &s.N.Gates[p.Gate], int(p.Pin))
+}
+
+// GradeComb fault-simulates the given faults against the patterns using
+// pattern-parallel single-fault propagation (64 patterns per pass) and
+// returns the set of detected faults. Detection points are the full-scan
+// observation points (primary outputs and flip-flop D pins); flip-flop
+// outputs are treated as controllable pseudo-inputs and must be driven by
+// the patterns too — pass statePatterns aligned with Netlist.FlipFlops, or
+// nil to hold all state at X.
+func GradeComb(n *netlist.Netlist, u *fault.Universe, patterns []Pattern,
+	statePatterns []Pattern, faults []fault.FID) (*fault.Set, error) {
+
+	good, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	pis := n.PrimaryInputs()
+	ffs := n.FlipFlops()
+	obs := CombObsPoints(n)
+	detected := fault.NewSet(u)
+
+	for base := 0; base < len(patterns); base += logic.WordBits {
+		hi := base + logic.WordBits
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+		// Pack the batch.
+		piVals := make([]logic.PV, len(pis))
+		for pi := range pis {
+			v := logic.PVAllX
+			for k := base; k < hi; k++ {
+				v = v.Set(k-base, patterns[k][pi])
+			}
+			piVals[pi] = v
+		}
+		ffVals := make([]logic.PV, len(ffs))
+		for fi := range ffs {
+			v := logic.PVAllX
+			if statePatterns != nil {
+				for k := base; k < hi; k++ {
+					v = v.Set(k-base, statePatterns[k][fi])
+				}
+			}
+			ffVals[fi] = v
+		}
+		apply := func(s *Simulator) {
+			s.ClearState(logic.X)
+			for pi, g := range pis {
+				s.SetInput(n.Gates[g].Out, piVals[pi])
+			}
+			for fi, g := range ffs {
+				s.SetInput(n.Gates[g].Out, ffVals[fi])
+			}
+			s.EvalComb()
+		}
+		apply(good)
+
+		for _, fid := range faults {
+			if detected.Has(fid) {
+				continue
+			}
+			f := u.FaultOf(fid)
+			bad.ClearInjections()
+			bad.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+			apply(bad)
+			for _, p := range obs {
+				if good.ObsVal(p).Diff(bad.ObsVal(p)) != 0 {
+					detected.Add(fid)
+					break
+				}
+			}
+		}
+	}
+	return detected, nil
+}
+
+// Stimulus is a cycle-by-cycle input sequence for sequential grading.
+type Stimulus struct {
+	Inputs []netlist.NetID // nets to drive (normally all primary inputs)
+	Cycles [][]logic.V     // Cycles[c][i] drives Inputs[i] in cycle c
+}
+
+// GradeSeq fault-simulates the given faults against a sequential stimulus,
+// fault-parallel: 63 faulty machines share each simulation pass with one
+// good reference machine in slot 63. A fault is detected in the cycle where
+// an observed net carries a known value differing from the good machine's
+// known value. Outputs are sampled after combinational settling, before the
+// clock edge, every cycle.
+func GradeSeq(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
+	observe []ObsPoint, faults []fault.FID) (*fault.Set, error) {
+
+	detected := fault.NewSet(u)
+	const goodSlot = logic.WordBits - 1
+	const lanes = logic.WordBits - 1
+
+	for base := 0; base < len(faults); base += lanes {
+		hi := base + lanes
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		batch := faults[base:hi]
+
+		s, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		for lane, fid := range batch {
+			f := u.FaultOf(fid)
+			s.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: 1 << uint(lane)})
+		}
+		s.ClearState(logic.X)
+
+		caught := make([]bool, len(batch))
+		for _, cyc := range stim.Cycles {
+			for i, net := range stim.Inputs {
+				s.SetInputV(net, cyc[i])
+			}
+			s.EvalComb()
+			for _, p := range observe {
+				v := s.ObsVal(p)
+				var diffMask uint64
+				switch v.Get(goodSlot) {
+				case logic.One:
+					diffMask = v.L0
+				case logic.Zero:
+					diffMask = v.L1
+				default:
+					continue
+				}
+				for lane := range batch {
+					if diffMask&(1<<uint(lane)) != 0 {
+						caught[lane] = true
+					}
+				}
+			}
+			s.CommitState()
+		}
+		for lane, fid := range batch {
+			if caught[lane] {
+				detected.Add(fid)
+			}
+		}
+	}
+	return detected, nil
+}
