@@ -1,0 +1,3 @@
+module olfui
+
+go 1.24

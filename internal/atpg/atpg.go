@@ -1,0 +1,191 @@
+// Package atpg implements a PODEM-style deterministic test-pattern generator
+// over the combinational (full-scan) view of a netlist.
+//
+// The engine searches over assignments to the controllable inputs — primary
+// inputs plus flip-flop outputs treated as pseudo-inputs — using five-valued
+// D-calculus implication (logic.D5) on the levelized netlist. Each decision
+// step forward-implies the whole circuit, then either reports detection (a
+// fault effect D/D̄ reached an observation point), derives the next objective
+// (activate the fault, then advance the D-frontier), or backtracks. Because
+// PODEM's decision tree ranges over all input assignments and every pruning
+// rule is monotone (implication only refines X toward known values, never the
+// reverse), exhausting the tree is a proof of untestability — which is
+// exactly what the on-line functionally-untestable-fault identification flow
+// needs: Untestable verdicts are certificates, not failures to detect.
+//
+// Heuristics are SCOAP-lite (netlist.Annotations): objectives pick the
+// D-frontier gate with the lowest output observability, and a multiple
+// backtrace distributes objective demand down to the inputs weighted by
+// controllability.
+//
+// On top of the single-fault core, GenerateAll drives the collapsed fault
+// list through a bounded worker pool with fault dropping: every generated
+// pattern is immediately fault-simulated (sim.Grader, PPSFP) so incidentally
+// detected faults never reach the deterministic engine.
+package atpg
+
+import (
+	"fmt"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// Verdict is the three-way outcome of targeting one fault.
+type Verdict uint8
+
+// Per-fault verdicts.
+const (
+	// Detected: the engine found an input assignment whose implication
+	// carries a fault effect to an observation point. Result.Pattern and
+	// Result.State hold the assignment.
+	Detected Verdict = iota
+	// Untestable: the decision tree was exhausted without detection. This
+	// is a proof that no input assignment detects the fault at the
+	// engine's observation points.
+	Untestable
+	// Aborted: the backtrack limit was hit before either outcome.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Options configures the engine.
+type Options struct {
+	// BacktrackLimit bounds the number of decision flips per fault before
+	// the engine gives up with Aborted. 0 means DefaultBacktrackLimit.
+	BacktrackLimit int
+	// Workers bounds GenerateAll's concurrency. 0 means runtime.NumCPU().
+	Workers int
+}
+
+// DefaultBacktrackLimit is the per-fault decision-flip budget when
+// Options.BacktrackLimit is zero. Combinational circuits of a few thousand
+// gates essentially never need this many flips to resolve a fault.
+const DefaultBacktrackLimit = 1 << 14
+
+// Result is the outcome of targeting one fault.
+type Result struct {
+	Verdict Verdict
+	// Pattern holds the primary-input assignment (indexed like
+	// Netlist.PrimaryInputs) when Verdict == Detected; unassigned inputs
+	// stay X.
+	Pattern sim.Pattern
+	// State holds the flip-flop pseudo-input assignment (indexed like
+	// Netlist.FlipFlops) when Verdict == Detected.
+	State sim.Pattern
+	// Backtracks counts the decision flips the search used.
+	Backtracks int
+}
+
+// decision is one entry of the PODEM decision stack.
+type decision struct {
+	idx     int32 // index into Engine.assignable
+	val     logic.V
+	flipped bool
+}
+
+// Engine is a single-fault PODEM test generator. It is not safe for
+// concurrent use; GenerateAll builds one per worker.
+type Engine struct {
+	n    *netlist.Netlist
+	ann  *netlist.Annotations
+	opts Options
+
+	// assignable lists the controllable input nets: primary inputs in
+	// PrimaryInputs order, then flip-flop outputs in FlipFlops order.
+	assignable []netlist.NetID
+	numPI      int
+	// pIdx[net] is the assignable index of a net, -1 otherwise.
+	pIdx []int32
+	obs  []sim.ObsPoint
+
+	// Per-Generate search state.
+	val        []logic.D5 // per net
+	assigns    []logic.V  // per assignable
+	flt        fault.Fault
+	siteNet    netlist.NetID
+	siteVal    logic.D5
+	stack      []decision
+	backtracks int
+
+	dfront  []netlist.GateID
+	visited []bool // per net, X-path DFS scratch
+	demand  []objDemand
+	buckets [][]netlist.NetID // multiple-backtrace worklist by level
+}
+
+// New builds an engine for the netlist. It fails only if the netlist does not
+// levelize.
+func New(n *netlist.Netlist, opts Options) (*Engine, error) {
+	ann, err := n.Annotate()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithAnnotations(n, ann, opts), nil
+}
+
+// NewWithAnnotations builds an engine on precomputed testability annotations.
+// The annotations are read-only during search, so a fleet of engines (one per
+// worker) can share one Annotate pass.
+func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Options) *Engine {
+	if opts.BacktrackLimit <= 0 {
+		opts.BacktrackLimit = DefaultBacktrackLimit
+	}
+	e := &Engine{
+		n:       n,
+		ann:     ann,
+		opts:    opts,
+		pIdx:    make([]int32, len(n.Nets)),
+		obs:     sim.CombObsPoints(n),
+		val:     make([]logic.D5, len(n.Nets)),
+		visited: make([]bool, len(n.Nets)),
+	}
+	for i := range e.pIdx {
+		e.pIdx[i] = -1
+	}
+	for _, g := range n.PrimaryInputs() {
+		e.addAssignable(n.Gates[g].Out)
+	}
+	e.numPI = len(e.assignable)
+	for _, g := range n.FlipFlops() {
+		e.addAssignable(n.Gates[g].Out)
+	}
+	e.assigns = make([]logic.V, len(e.assignable))
+	e.demand = make([]objDemand, len(e.assignable))
+	maxLvl := int32(0)
+	for _, l := range ann.Level {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	e.buckets = make([][]netlist.NetID, maxLvl+1)
+	return e
+}
+
+func (e *Engine) addAssignable(net netlist.NetID) {
+	e.pIdx[net] = int32(len(e.assignable))
+	e.assignable = append(e.assignable, net)
+}
+
+// netOfSite returns the net the current fault site sits on.
+func (e *Engine) netOfSite() netlist.NetID {
+	g := &e.n.Gates[e.flt.Gate]
+	if e.flt.Pin == fault.OutputPin {
+		return g.Out
+	}
+	return g.Ins[e.flt.Pin]
+}

@@ -1,0 +1,303 @@
+package atpg
+
+import (
+	"testing"
+
+	"olfui/internal/dp"
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// confirmBySim independently checks a Detected result with the ternary
+// fault simulator: the returned pattern must detect the fault under PPSFP
+// grading at the same observation points.
+func confirmBySim(t *testing.T, n *netlist.Netlist, u *fault.Universe, f fault.Fault, r Result) {
+	t.Helper()
+	fid := u.IDOf(f)
+	if fid == fault.InvalidFID {
+		t.Fatalf("fault %v not in universe", f)
+	}
+	var states []sim.Pattern
+	if len(r.State) > 0 {
+		states = []sim.Pattern{r.State}
+	}
+	det, err := sim.GradeComb(n, u, []sim.Pattern{r.Pattern}, states, []fault.FID{fid})
+	if err != nil {
+		t.Fatalf("GradeComb: %v", err)
+	}
+	if !det.Has(fid) {
+		t.Errorf("pattern %v does not detect %s under fault simulation", r.Pattern, u.Describe(f))
+	}
+}
+
+func TestGenerateSimpleAnd(t *testing.T) {
+	n := netlist.New("and2")
+	a := n.Input("a")
+	b := n.Input("b")
+	y := n.And("y", a, b)
+	n.OutputPort("po", y)
+	u := fault.NewUniverse(n)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gid, _ := n.GateByName("y")
+	// Every fault of the AND gate must be detected.
+	for _, fid := range u.GateFaults(gid) {
+		f := u.FaultOf(fid)
+		r := e.Generate(f)
+		if r.Verdict != Detected {
+			t.Fatalf("%s: got %v, want detected", u.Describe(f), r.Verdict)
+		}
+		confirmBySim(t, n, u, f, r)
+	}
+
+	// Output s-a-0 needs a=b=1.
+	r := e.Generate(fault.Fault{Site: fault.Site{Gate: gid, Pin: fault.OutputPin}, SA: logic.Zero})
+	if r.Pattern[0] != logic.One || r.Pattern[1] != logic.One {
+		t.Errorf("AND output s-a-0 pattern = %v, want [1 1]", r.Pattern)
+	}
+}
+
+func TestGenerateXorChain(t *testing.T) {
+	// XOR parity chain: every fault needs a sensitized path through XORs,
+	// exercising the XOR objective and backtrace rules.
+	n := netlist.New("parity")
+	var nets []netlist.NetID
+	for i := 0; i < 6; i++ {
+		nets = append(nets, n.Input(string(rune('a'+i))))
+	}
+	y := nets[0]
+	for i := 1; i < len(nets); i++ {
+		y = n.Xor("", y, nets[i])
+	}
+	n.OutputPort("po", y)
+
+	u := fault.NewUniverse(n)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < u.NumFaults(); id++ {
+		f := u.FaultOf(fault.FID(id))
+		r := e.Generate(f)
+		if r.Verdict != Detected {
+			t.Fatalf("%s: got %v, want detected", u.Describe(f), r.Verdict)
+		}
+		confirmBySim(t, n, u, f, r)
+	}
+}
+
+func TestUntestableConstantNode(t *testing.T) {
+	// A tie-driven net can never be set to the opposite value: s-a-v on a
+	// constant-v net is untestable by lack of activation.
+	n := netlist.New("const")
+	a := n.Input("a")
+	one := n.Tie1("one")
+	y := n.And("y", a, one)
+	n.OutputPort("po", y)
+
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tieGate, _ := n.GateByName("one")
+	r := e.Generate(fault.Fault{Site: fault.Site{Gate: tieGate, Pin: fault.OutputPin}, SA: logic.One})
+	if r.Verdict != Untestable {
+		t.Errorf("tie-1 output s-a-1: got %v, want untestable", r.Verdict)
+	}
+	// The complementary fault (s-a-0 on the constant-1 net) is testable.
+	r = e.Generate(fault.Fault{Site: fault.Site{Gate: tieGate, Pin: fault.OutputPin}, SA: logic.Zero})
+	if r.Verdict != Detected {
+		t.Errorf("tie-1 output s-a-0: got %v, want detected", r.Verdict)
+	}
+}
+
+// consensusNetlist builds y = a·b + ā·c + b·c. The consensus term b·c is
+// redundant: its output s-a-0 is the textbook untestable fault that needs a
+// genuine search-space exhaustion (not just failed activation) to prove.
+func consensusNetlist() (*netlist.Netlist, netlist.GateID) {
+	n := netlist.New("consensus")
+	a := n.Input("a")
+	b := n.Input("b")
+	c := n.Input("c")
+	na := n.Not("na", a)
+	t1 := n.And("t1", a, b)
+	t2 := n.And("t2", na, c)
+	t3 := n.And("t3", b, c)
+	y := n.Or("y", t1, t2, t3)
+	n.OutputPort("po", y)
+	g, _ := n.GateByName("t3")
+	return n, g
+}
+
+func TestUntestableRedundantConsensus(t *testing.T) {
+	n, t3 := consensusNetlist()
+	u := fault.NewUniverse(n)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.Fault{Site: fault.Site{Gate: t3, Pin: fault.OutputPin}, SA: logic.Zero}
+	r := e.Generate(f)
+	if r.Verdict != Untestable {
+		t.Fatalf("consensus term s-a-0: got %v, want untestable (backtracks=%d)", r.Verdict, r.Backtracks)
+	}
+	if r.Backtracks == 0 {
+		t.Error("consensus proof took zero backtracks; expected a real search")
+	}
+	// Exhaustive cross-check: no input assignment detects the fault.
+	fid := u.IDOf(f)
+	var all []sim.Pattern
+	for v := 0; v < 8; v++ {
+		all = append(all, sim.Pattern{
+			logic.FromBit(uint64(v)), logic.FromBit(uint64(v >> 1)), logic.FromBit(uint64(v >> 2)),
+		})
+	}
+	det, err := sim.GradeComb(n, u, all, nil, []fault.FID{fid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Has(fid) {
+		t.Error("exhaustive simulation detects the fault ATPG called untestable")
+	}
+}
+
+func TestGenerateWithState(t *testing.T) {
+	// A flip-flop output is a controllable pseudo-input and its D pin an
+	// observation point in the full-scan view.
+	n := netlist.New("seq")
+	a := n.Input("a")
+	q := n.DFF("q", a) // q reads a, q drives the AND below
+	y := n.And("y", a, q)
+	n.OutputPort("po", y)
+
+	u := fault.NewUniverse(n)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, _ := n.GateByName("y")
+	f := fault.Fault{Site: fault.Site{Gate: gid, Pin: 1}, SA: logic.Zero}
+	r := e.Generate(f)
+	if r.Verdict != Detected {
+		t.Fatalf("got %v, want detected", r.Verdict)
+	}
+	if len(r.State) != 1 || r.State[0] != logic.One {
+		t.Errorf("state pattern = %v, want [1]", r.State)
+	}
+	confirmBySim(t, n, u, f, r)
+}
+
+// datapathNetlist builds the acceptance circuit: an 8-bit adder/mux datapath
+// with a redundant consensus subcircuit riding along, giving a few hundred
+// collapsed fault classes with known-untestable members.
+func datapathNetlist() (*netlist.Netlist, netlist.GateID) {
+	n := netlist.New("datapath")
+	a := dp.InputBus(n, "a", 8)
+	b := dp.InputBus(n, "b", 8)
+	sel := n.Input("sel")
+	cin := n.Input("cin")
+	sum, cout := dp.RippleAdder(n, "add", a, b, cin)
+	diff, _ := dp.Subtractor(n, "sub", a, b)
+	res := dp.Mux2Bus(n, "rmux", sum, diff, sel)
+	dp.OutputBus(n, "res", res)
+	n.OutputPort("cout", cout)
+	eq := dp.EqBus(n, "eq", a, b)
+	n.OutputPort("eq", eq)
+
+	// Redundant consensus subcircuit: y2 = s·c0 + s̄·c1 + c0·c1.
+	s := n.Input("s")
+	c0 := n.Input("c0")
+	c1 := n.Input("c1")
+	ns := n.Not("ns", s)
+	u1 := n.And("u1", s, c0)
+	u2 := n.And("u2", ns, c1)
+	u3 := n.And("u3", c0, c1)
+	y2 := n.Or("y2", u1, u2, u3)
+	n.OutputPort("po2", y2)
+	g, _ := n.GateByName("u3")
+	return n, g
+}
+
+func TestGenerateAllDatapath(t *testing.T) {
+	n, redundant := datapathNetlist()
+	u := fault.NewUniverse(n)
+	collapse := fault.NewCollapse(u)
+	if c := collapse.NumClasses(); c < 200 {
+		t.Fatalf("datapath has %d collapsed classes, want a few hundred", c)
+	}
+
+	out, err := GenerateAll(n, u, Options{BacktrackLimit: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %s", out.Stats)
+
+	if out.Stats.Aborted != 0 {
+		t.Fatalf("%d classes aborted at a generous backtrack limit", out.Stats.Aborted)
+	}
+	if out.Stats.Detected+out.Stats.Untestable != out.Stats.Classes {
+		t.Fatalf("classification incomplete: %d+%d != %d classes",
+			out.Stats.Detected, out.Stats.Untestable, out.Stats.Classes)
+	}
+
+	// Every fault in the universe must be classified after class spreading.
+	counts := out.Status.Counts()
+	if got := counts[fault.Undetected] + counts[fault.Aborted]; got != 0 {
+		t.Fatalf("%d faults left unclassified", got)
+	}
+
+	// The deliberately redundant consensus-term fault must be proven
+	// untestable.
+	rid := u.IDOf(fault.Fault{Site: fault.Site{Gate: redundant, Pin: fault.OutputPin}, SA: logic.Zero})
+	if got := out.Status.Get(rid); got != fault.Untestable {
+		t.Errorf("redundant consensus fault: got %v, want untestable", got)
+	}
+
+	// Independent confirmation: the emitted test set must detect every
+	// Detected fault under PPSFP fault simulation...
+	detectedIDs := out.Status.FaultsWith(fault.Detected)
+	simDet, err := sim.GradeComb(n, u, out.Patterns, out.States, detectedIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := simDet.Count(); got != len(detectedIDs) {
+		t.Errorf("test set confirms %d of %d detected faults", got, len(detectedIDs))
+	}
+	// ...and must not detect any fault proven untestable.
+	untestIDs := out.Status.FaultsWith(fault.Untestable)
+	simUnt, err := sim.GradeComb(n, u, out.Patterns, out.States, untestIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := simUnt.Count(); got != 0 {
+		t.Errorf("test set detects %d faults proven untestable", got)
+	}
+}
+
+func TestGenerateAllSingleWorkerDeterministic(t *testing.T) {
+	n, _ := datapathNetlist()
+	u := fault.NewUniverse(n)
+	run := func() *Outcome {
+		out, err := GenerateAll(n, u, Options{Workers: 1, BacktrackLimit: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Stats.Patterns != b.Stats.Patterns || a.Stats.Untestable != b.Stats.Untestable {
+		t.Errorf("single-worker runs disagree: %s vs %s", a.Stats, b.Stats)
+	}
+	for i := range a.Patterns {
+		for j := range a.Patterns[i] {
+			if a.Patterns[i][j] != b.Patterns[i][j] {
+				t.Fatalf("pattern %d differs between runs", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package atpg
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"olfui/internal/fault"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// Stats summarises one GenerateAll run. Class counts are over collapsed
+// equivalence classes (the unit of ATPG work); the full-universe breakdown is
+// available from Outcome.Status.
+type Stats struct {
+	Faults  int // uncollapsed universe size
+	Classes int // collapsed classes targeted
+
+	Detected   int // classes detected (by ATPG or dropped by simulation)
+	Untestable int // classes proven untestable
+	Aborted    int // classes abandoned at the backtrack limit
+
+	SimDropped int // classes detected by fault simulation alone, never targeted
+	Patterns   int // patterns in the emitted test set
+	Backtracks int // total decision flips across all targeted faults
+	Elapsed    time.Duration
+}
+
+// String renders a compact one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"%d faults / %d classes: %d detected (%d sim-dropped), %d untestable, %d aborted; %d patterns, %d backtracks, %v",
+		s.Faults, s.Classes, s.Detected, s.SimDropped, s.Untestable, s.Aborted,
+		s.Patterns, s.Backtracks, s.Elapsed.Round(time.Microsecond))
+}
+
+// Outcome is the full result of a GenerateAll run.
+type Outcome struct {
+	Stats Stats
+	// Status classifies every fault of the universe: verdicts proven on
+	// class representatives are spread to all class members.
+	Status *fault.StatusMap
+	// Patterns and States form the emitted test set, aligned index-wise
+	// (States is all-X rows for purely combinational designs).
+	Patterns []sim.Pattern
+	States   []sim.Pattern
+}
+
+// workItem pairs a targeted class representative with its engine result.
+type workItem struct {
+	fid fault.FID
+	res Result
+}
+
+// GenerateAll runs deterministic ATPG over the collapsed fault list of the
+// universe with fault dropping: fault classes fan out to a bounded worker
+// pool (one Engine per worker), and every pattern a worker generates is
+// immediately fault-simulated against the remaining undetected classes so
+// incidentally covered faults are dropped before more ATPG work is
+// dispatched. The classic pattern-count/CPU-time tradeoff: the serial drop
+// loop shrinks both the test set and the number of deterministic searches,
+// while the workers keep the per-fault searches parallel.
+func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome, error) {
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	collapse := fault.NewCollapse(u)
+	var reps []fault.FID
+	for id := 0; id < u.NumFaults(); id++ {
+		if collapse.Rep(fault.FID(id)) == fault.FID(id) {
+			reps = append(reps, fault.FID(id))
+		}
+	}
+	status := fault.NewStatusMap(u)
+	grader, err := sim.NewGrader(n, u)
+	if err != nil {
+		return nil, err
+	}
+
+	ann, err := n.Annotate()
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*Engine, workers)
+	for i := range engines {
+		engines[i] = NewWithAnnotations(n, ann, opts)
+	}
+
+	jobs := make(chan fault.FID, workers)
+	results := make(chan workItem, workers)
+	for _, eng := range engines {
+		go func(eng *Engine) {
+			for fid := range jobs {
+				results <- workItem{fid: fid, res: eng.Generate(u.FaultOf(fid))}
+			}
+		}(eng)
+	}
+
+	out := &Outcome{Status: status}
+	st := &out.Stats
+	st.Faults = u.NumFaults()
+	st.Classes = len(reps)
+
+	// The coordinator owns the status map: it dispatches still-undetected
+	// classes, fault-simulates each generated pattern, and drops hits.
+	next, inFlight := 0, 0
+	dispatch := func() {
+		for inFlight < workers && next < len(reps) {
+			fid := reps[next]
+			next++
+			if status.Get(fid) != fault.Undetected {
+				continue
+			}
+			jobs <- fid
+			inFlight++
+		}
+	}
+	// Aborted classes stay droppable: a later pattern may well cover a
+	// fault the deterministic search gave up on.
+	droppable := func() []fault.FID {
+		var live []fault.FID
+		for _, fid := range reps {
+			if st := status.Get(fid); st == fault.Undetected || st == fault.Aborted {
+				live = append(live, fid)
+			}
+		}
+		return live
+	}
+
+	dispatch()
+	for inFlight > 0 {
+		w := <-results
+		inFlight--
+		st.Backtracks += w.res.Backtracks
+		// A class dropped while its search was in flight needs no further
+		// accounting — the verdicts cannot disagree, only overlap.
+		if status.Get(w.fid) == fault.Undetected {
+			switch w.res.Verdict {
+			case Detected:
+				status.Set(w.fid, fault.Detected)
+				st.Detected++
+				out.Patterns = append(out.Patterns, w.res.Pattern)
+				out.States = append(out.States, w.res.State)
+				st.Patterns++
+				dropped := grader.Grade(
+					[]sim.Pattern{w.res.Pattern}, []sim.Pattern{w.res.State}, droppable())
+				dropped.ForEach(func(fid fault.FID) {
+					if status.Get(fid) == fault.Aborted {
+						st.Aborted--
+					}
+					status.Set(fid, fault.Detected)
+					st.Detected++
+					st.SimDropped++
+				})
+			case Untestable:
+				status.Set(w.fid, fault.Untestable)
+				st.Untestable++
+			case Aborted:
+				status.Set(w.fid, fault.Aborted)
+				st.Aborted++
+			}
+		}
+		dispatch()
+	}
+	close(jobs)
+
+	status.SpreadClasses(collapse)
+	st.Elapsed = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package atpg
+
+import (
+	"fmt"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// imply settles the whole circuit in the five-valued D-calculus from the
+// current input assignments, injecting the target fault at its site. It is a
+// single full levelized pass: implication here is pure forward simulation,
+// with all search intelligence in objective selection and backtracking.
+func (e *Engine) imply() {
+	// Sources: assigned inputs, ties, flip-flop pseudo-inputs.
+	for i := range e.n.Gates {
+		g := &e.n.Gates[i]
+		var v logic.D5
+		switch g.Kind {
+		case netlist.KTie0:
+			v = logic.Zero5
+		case netlist.KTie1:
+			v = logic.One5
+		case netlist.KInput, netlist.KDFF, netlist.KDFFR:
+			v = logic.Lift(e.assigns[e.pIdx[g.Out]])
+		default:
+			continue
+		}
+		if e.flt.Gate == netlist.GateID(i) && e.flt.Pin == fault.OutputPin {
+			v = v.WithFaulty(e.flt.SA)
+		}
+		e.val[g.Out] = v
+	}
+	for _, gid := range e.ann.Order() {
+		g := &e.n.Gates[gid]
+		if g.Out == netlist.InvalidNet {
+			continue
+		}
+		v := e.evalGate(gid, g)
+		if e.flt.Gate == gid && e.flt.Pin == fault.OutputPin {
+			v = v.WithFaulty(e.flt.SA)
+		}
+		e.val[g.Out] = v
+	}
+	if e.flt.Pin == fault.OutputPin {
+		e.siteVal = e.val[e.siteNet]
+	} else {
+		e.siteVal = e.pinVal(e.flt.Gate, &e.n.Gates[e.flt.Gate], int(e.flt.Pin))
+	}
+}
+
+// pinVal reads input pin p of gate g with the fault injection applied. Input
+// pin faults affect only this branch of the net, which is exactly the
+// single-stuck-pin semantics.
+func (e *Engine) pinVal(gid netlist.GateID, g *netlist.Gate, p int) logic.D5 {
+	v := e.val[g.Ins[p]]
+	if e.flt.Gate == gid && int(e.flt.Pin) == p {
+		v = v.WithFaulty(e.flt.SA)
+	}
+	return v
+}
+
+func (e *Engine) evalGate(gid netlist.GateID, g *netlist.Gate) logic.D5 {
+	switch g.Kind {
+	case netlist.KBuf:
+		return e.pinVal(gid, g, 0)
+	case netlist.KNot:
+		return e.pinVal(gid, g, 0).Not()
+	case netlist.KAnd, netlist.KNand:
+		v := e.pinVal(gid, g, 0)
+		for p := 1; p < len(g.Ins); p++ {
+			v = v.And(e.pinVal(gid, g, p))
+		}
+		if g.Kind == netlist.KNand {
+			v = v.Not()
+		}
+		return v
+	case netlist.KOr, netlist.KNor:
+		v := e.pinVal(gid, g, 0)
+		for p := 1; p < len(g.Ins); p++ {
+			v = v.Or(e.pinVal(gid, g, p))
+		}
+		if g.Kind == netlist.KNor {
+			v = v.Not()
+		}
+		return v
+	case netlist.KXor:
+		return e.pinVal(gid, g, 0).Xor(e.pinVal(gid, g, 1))
+	case netlist.KXnor:
+		return e.pinVal(gid, g, 0).Xnor(e.pinVal(gid, g, 1))
+	case netlist.KMux2:
+		return logic.Mux5(e.pinVal(gid, g, netlist.MuxS),
+			e.pinVal(gid, g, netlist.MuxD0), e.pinVal(gid, g, netlist.MuxD1))
+	}
+	panic(fmt.Sprintf("atpg: cannot evaluate %v gate %q", g.Kind, g.Name))
+}
+
+// detected reports whether a fault effect has reached an observation point.
+func (e *Engine) detected() bool {
+	for _, p := range e.obs {
+		if e.pinVal(p.Gate, &e.n.Gates[p.Gate], int(p.Pin)).IsError() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package atpg
+
+import (
+	"sort"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// objective is the next value goal of the search: drive net to value v (in
+// the good machine). An objective with direct=true names an assignable input
+// and bypasses backtrace.
+type objective struct {
+	net    netlist.NetID
+	v      logic.V
+	direct bool
+}
+
+// nextObjective derives the next objective from the implied circuit state, or
+// reports a conflict (ok=false): the current partial assignment provably
+// cannot be extended to a detection.
+func (e *Engine) nextObjective() (objective, bool) {
+	// Phase 1: fault activation. The good-machine value at the site must
+	// become the complement of the stuck-at value — but only if the site
+	// still has an open propagation path; otherwise activating it is
+	// pointless (this is what proves faults in unobservable cones, such as
+	// a dropped carry-out, untestable in constant time).
+	if !e.siteVal.Good.IsKnown() {
+		if !e.sitePathOpen() {
+			return objective{}, false
+		}
+		return objective{net: e.siteNet, v: e.flt.SA.Not()}, true
+	}
+	if e.siteVal.Good == e.flt.SA {
+		return objective{}, false // activation impossible under this assignment
+	}
+	// Phase 2: the site carries D/D̄. Advance the D-frontier.
+	e.computeFrontier()
+	if len(e.dfront) == 0 {
+		return objective{}, false // every propagation path is blocked
+	}
+	roots := make([]netlist.NetID, 0, len(e.dfront))
+	for _, gid := range e.dfront {
+		roots = append(roots, e.n.Gates[gid].Out)
+	}
+	if !e.xPathFrom(roots) {
+		return objective{}, false // no X-path from the frontier to any observation point
+	}
+	for _, gid := range e.dfront {
+		if obj, ok := e.gateObjective(gid); ok {
+			return obj, true
+		}
+	}
+	// No frontier gate offers a direct good-machine objective (this arises
+	// with composite values such as (0,X), where propagation hinges on the
+	// faulty machine alone). Fall back to assigning any free input: the
+	// decision tree still covers the full search space, so soundness and
+	// completeness are preserved, only heuristic quality drops.
+	for i, v := range e.assigns {
+		if v == logic.X {
+			val := logic.Zero
+			if e.ann.CC1[e.assignable[i]] < e.ann.CC0[e.assignable[i]] {
+				val = logic.One
+			}
+			return objective{net: e.assignable[i], v: val, direct: true}, true
+		}
+	}
+	return objective{}, false
+}
+
+// computeFrontier collects the D-frontier: gates with at least one fault
+// effect on an input and an output that can still evolve (carries an X
+// component), sorted most-observable first (lowest SCOAP CO).
+func (e *Engine) computeFrontier() {
+	e.dfront = e.dfront[:0]
+	for _, gid := range e.ann.Order() {
+		g := &e.n.Gates[gid]
+		if g.Out == netlist.InvalidNet || !e.val[g.Out].HasX() {
+			continue
+		}
+		for p := range g.Ins {
+			if e.pinVal(gid, g, p).IsError() {
+				e.dfront = append(e.dfront, gid)
+				break
+			}
+		}
+	}
+	sort.SliceStable(e.dfront, func(i, j int) bool {
+		return e.ann.CO[e.n.Gates[e.dfront[i]].Out] < e.ann.CO[e.n.Gates[e.dfront[j]].Out]
+	})
+}
+
+// sitePathOpen reports whether the (not yet activated) fault site still has
+// an X-path to an observation point. Before activation no net carries a full
+// fault effect, so any eventual detection path must currently consist of
+// X-bearing nets starting at the site; a blocked site proves the fault
+// untestable under the current assignment without searching activations.
+func (e *Engine) sitePathOpen() bool {
+	g := &e.n.Gates[e.flt.Gate]
+	if e.flt.Pin != fault.OutputPin {
+		// A pin fault propagates only through its own gate; the pin may
+		// itself be an observation point.
+		switch g.Kind {
+		case netlist.KOutput:
+			return true
+		case netlist.KDFF, netlist.KDFFR:
+			return e.flt.Pin == netlist.DffD
+		}
+		if g.Out == netlist.InvalidNet || !e.val[g.Out].HasX() {
+			return false
+		}
+		return e.xPathFrom([]netlist.NetID{g.Out})
+	}
+	return e.xPathFrom([]netlist.NetID{e.siteNet})
+}
+
+// xPathFrom reports whether any root net still has a path of X-bearing nets
+// to an observation point. Implication is monotone, so a missing X-path
+// proves the fault effect can never reach that observation point under the
+// current assignment.
+func (e *Engine) xPathFrom(roots []netlist.NetID) bool {
+	for i := range e.visited {
+		e.visited[i] = false
+	}
+	var stack []netlist.NetID
+	for _, net := range roots {
+		if !e.visited[net] {
+			e.visited[net] = true
+			stack = append(stack, net)
+		}
+	}
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range e.n.Nets[net].Fanout {
+			g := &e.n.Gates[p.Gate]
+			switch g.Kind {
+			case netlist.KOutput:
+				return true
+			case netlist.KDFF, netlist.KDFFR:
+				if p.In == netlist.DffD {
+					return true
+				}
+				continue
+			case netlist.KDead:
+				continue
+			}
+			if g.Out == netlist.InvalidNet || e.visited[g.Out] || !e.val[g.Out].HasX() {
+				continue
+			}
+			e.visited[g.Out] = true
+			stack = append(stack, g.Out)
+		}
+	}
+	return false
+}
+
+// gateObjective proposes an objective that advances the fault effect through
+// one D-frontier gate: set an unassigned (good-X) input to the value that
+// sensitizes the erroring input.
+func (e *Engine) gateObjective(gid netlist.GateID) (objective, bool) {
+	g := &e.n.Gates[gid]
+	switch g.Kind {
+	case netlist.KAnd, netlist.KNand:
+		return e.xInputObjective(gid, g, logic.One)
+	case netlist.KOr, netlist.KNor:
+		return e.xInputObjective(gid, g, logic.Zero)
+	case netlist.KXor, netlist.KXnor:
+		return e.xInputObjective(gid, g, logic.X)
+	case netlist.KMux2:
+		return e.muxObjective(gid, g)
+	}
+	return objective{}, false
+}
+
+// xInputObjective picks a good-X input of the gate to set to the
+// noncontrolling value. want selects the target: One for AND-family, Zero for
+// OR-family; the classic hardest-first rule picks the X input that is most
+// expensive to control, so infeasible sensitizations fail early. For the
+// XOR-family (want == X) any known value sensitizes, so the cheaper side of
+// the first X input wins.
+func (e *Engine) xInputObjective(gid netlist.GateID, g *netlist.Gate, want logic.V) (objective, bool) {
+	if want == logic.X {
+		for p, in := range g.Ins {
+			if e.pinVal(gid, g, p).Good.IsKnown() {
+				continue
+			}
+			v := logic.Zero
+			if e.ann.CC1[in] < e.ann.CC0[in] {
+				v = logic.One
+			}
+			return objective{net: in, v: v}, true
+		}
+		return objective{}, false
+	}
+	best, bestCC := netlist.InvalidNet, int32(-1)
+	for p, in := range g.Ins {
+		if e.pinVal(gid, g, p).Good.IsKnown() {
+			continue
+		}
+		if cc := e.ann.CCOf(in, want == logic.One); cc > bestCC {
+			best, bestCC = in, cc
+		}
+	}
+	if best == netlist.InvalidNet {
+		return objective{}, false
+	}
+	return objective{net: best, v: want}, true
+}
+
+// muxObjective handles the 2:1 mux frontier cases: steer the select toward
+// the erroring data input, or (for a select fault effect) make the data
+// inputs differ.
+func (e *Engine) muxObjective(gid netlist.GateID, g *netlist.Gate) (objective, bool) {
+	d0 := e.pinVal(gid, g, netlist.MuxD0)
+	d1 := e.pinVal(gid, g, netlist.MuxD1)
+	s := e.pinVal(gid, g, netlist.MuxS)
+	if !s.Good.IsKnown() {
+		if d0.IsError() {
+			return objective{net: g.Ins[netlist.MuxS], v: logic.Zero}, true
+		}
+		if d1.IsError() {
+			return objective{net: g.Ins[netlist.MuxS], v: logic.One}, true
+		}
+	}
+	// Fault effect on the select (or data side not yet steerable): expose it
+	// by making the data inputs known and different.
+	if !d0.Good.IsKnown() {
+		v := logic.Zero
+		if d1.Good.IsKnown() {
+			v = d1.Good.Not()
+		}
+		return objective{net: g.Ins[netlist.MuxD0], v: v}, true
+	}
+	if !d1.Good.IsKnown() {
+		return objective{net: g.Ins[netlist.MuxD1], v: d0.Good.Not()}, true
+	}
+	return objective{}, false
+}

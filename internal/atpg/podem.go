@@ -1,0 +1,68 @@
+package atpg
+
+import (
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/sim"
+)
+
+// Generate runs the PODEM search for one fault and returns its verdict. A
+// Detected result carries the generated pattern; an Untestable result is a
+// proof (the full decision tree over the controllable inputs was exhausted
+// under sound pruning); Aborted means the backtrack limit was hit first.
+func (e *Engine) Generate(f fault.Fault) Result {
+	e.flt = f
+	e.siteNet = e.netOfSite()
+	for i := range e.assigns {
+		e.assigns[i] = logic.X
+	}
+	e.stack = e.stack[:0]
+	e.backtracks = 0
+
+	e.imply()
+	for {
+		if e.detected() {
+			return Result{
+				Verdict:    Detected,
+				Pattern:    append(sim.Pattern(nil), e.assigns[:e.numPI]...),
+				State:      append(sim.Pattern(nil), e.assigns[e.numPI:]...),
+				Backtracks: e.backtracks,
+			}
+		}
+		advanced := false
+		if obj, ok := e.nextObjective(); ok {
+			if idx, v, ok := e.backtrace(obj); ok {
+				e.assigns[idx] = v
+				e.stack = append(e.stack, decision{idx: idx, val: v})
+				advanced = true
+			}
+		}
+		if !advanced {
+			if !e.backtrack() {
+				return Result{Verdict: Untestable, Backtracks: e.backtracks}
+			}
+			if e.backtracks > e.opts.BacktrackLimit {
+				return Result{Verdict: Aborted, Backtracks: e.backtracks}
+			}
+		}
+		e.imply()
+	}
+}
+
+// backtrack resolves a conflict: it flips the deepest unflipped decision
+// (undoing everything below it) or, if none remains, reports exhaustion.
+func (e *Engine) backtrack() bool {
+	for len(e.stack) > 0 {
+		top := &e.stack[len(e.stack)-1]
+		if !top.flipped {
+			top.flipped = true
+			top.val = top.val.Not()
+			e.assigns[top.idx] = top.val
+			e.backtracks++
+			return true
+		}
+		e.assigns[top.idx] = logic.X
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}

@@ -1,7 +1,8 @@
 // Package dp provides gate-level datapath building blocks — buses, adders,
 // multiplexer trees, decoders, comparators, shifters, registers and register
-// files — used by the synthetic SoC generator and by tests that need
-// realistic combinational structure.
+// files — used by tests and benchmarks that need realistic combinational
+// structure (a synthetic SoC generator building on these blocks is future
+// work).
 //
 // All blocks expand into primitive gates of package netlist; nothing here is
 // behavioural. Generated gate and net names are prefixed with the block name

@@ -1,0 +1,74 @@
+package fault
+
+import "fmt"
+
+// Status is the per-fault classification maintained by test generation.
+type Status uint8
+
+// Fault statuses. The zero value is Undetected so a fresh StatusMap needs no
+// initialization pass.
+const (
+	Undetected Status = iota // not yet targeted or detected
+	Detected                 // a pattern detecting the fault exists
+	Untestable               // proven untestable: ATPG exhausted the search space
+	Aborted                  // ATPG gave up at the backtrack limit
+	statusCount
+)
+
+var statusNames = [statusCount]string{"undetected", "detected", "untestable", "aborted"}
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// StatusMap tracks a Status per dense fault ID of one Universe.
+type StatusMap struct {
+	st []Status
+}
+
+// NewStatusMap returns an all-Undetected map sized for u.
+func NewStatusMap(u *Universe) *StatusMap {
+	return &StatusMap{st: make([]Status, u.NumFaults())}
+}
+
+// Get returns the status of id.
+func (m *StatusMap) Get(id FID) Status { return m.st[id] }
+
+// Set records the status of id.
+func (m *StatusMap) Set(id FID, s Status) { m.st[id] = s }
+
+// Len returns the universe size the map was created for.
+func (m *StatusMap) Len() int { return len(m.st) }
+
+// Counts tallies the map by status.
+func (m *StatusMap) Counts() map[Status]int {
+	c := make(map[Status]int, statusCount)
+	for _, s := range m.st {
+		c[s]++
+	}
+	return c
+}
+
+// FaultsWith returns the IDs currently holding status s, in ascending order.
+func (m *StatusMap) FaultsWith(s Status) []FID {
+	var out []FID
+	for i, st := range m.st {
+		if st == s {
+			out = append(out, FID(i))
+		}
+	}
+	return out
+}
+
+// SpreadClasses copies every class representative's status onto all members
+// of its equivalence class. Structural equivalence preserves testability, so
+// a verdict proven for the representative holds for the whole class.
+func (m *StatusMap) SpreadClasses(c *Collapse) {
+	for i := range m.st {
+		m.st[i] = m.st[c.Rep(FID(i))]
+	}
+}

@@ -22,8 +22,8 @@ var (
 	Zero5 = D5{Zero, Zero}
 	One5  = D5{One, One}
 	X5    = D5{X, X}
-	D     = D5{One, Zero}  // 1 in the good machine, 0 in the faulty machine
-	DBar  = D5{Zero, One}  // 0 in the good machine, 1 in the faulty machine
+	D     = D5{One, Zero} // 1 in the good machine, 0 in the faulty machine
+	DBar  = D5{Zero, One} // 0 in the good machine, 1 in the faulty machine
 )
 
 // Lift converts a ternary value into the D5 pair (v, v).

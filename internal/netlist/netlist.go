@@ -1,16 +1,17 @@
 // Package netlist implements the flat gate-level netlist representation the
 // whole library operates on: a cell library of combinational primitives plus
 // D flip-flops, nets with single drivers and explicit fanout pin lists, and a
-// builder API used both by tests and by the synthetic SoC generator.
+// builder API used by tests and by the datapath generators in package dp.
 //
 // # Identity contract
 //
-// Gate and net IDs are dense indices. Circuit manipulation (package manip)
-// always works on a Clone and only ever appends new gates/nets, tombstones
-// existing gates (KDead) or rewires pins; it never renumbers. Fault universes
-// built on the original netlist therefore remain valid — fault site (gate,
-// pin) — on every derived netlist, which is what lets the identification flow
-// compare fault lists across manipulations.
+// Gate and net IDs are dense indices. Any circuit manipulation must work on a
+// Clone and only ever append new gates/nets, tombstone existing gates (KDead)
+// or rewire pins; it must never renumber. Fault universes built on the
+// original netlist therefore remain valid — fault site (gate, pin) — on every
+// derived netlist, which is what lets analyses compare fault lists across
+// manipulated variants of one design. The KDead and FSynthetic markers exist
+// to support this convention; no manipulation package exists yet.
 package netlist
 
 import (

@@ -1,0 +1,88 @@
+package netlist
+
+import "testing"
+
+func TestAnnotateBasics(t *testing.T) {
+	n := New("scoap")
+	a := n.Input("a")
+	b := n.Input("b")
+	y := n.And("y", a, b)
+	z := n.Not("z", y)
+	n.OutputPort("po", z)
+	ann, err := n.Annotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Level[a] != 0 || ann.Level[y] != 1 || ann.Level[z] != 2 {
+		t.Errorf("levels = a:%d y:%d z:%d, want 0/1/2", ann.Level[a], ann.Level[y], ann.Level[z])
+	}
+	// SCOAP: PI CC = 1; AND: CC0 = min(1,1)+1 = 2, CC1 = 1+1+1 = 3;
+	// NOT flips: CC0(z) = CC1(y)+1 = 4, CC1(z) = CC0(y)+1 = 3.
+	if ann.CC0[y] != 2 || ann.CC1[y] != 3 {
+		t.Errorf("AND CC = (%d,%d), want (2,3)", ann.CC0[y], ann.CC1[y])
+	}
+	if ann.CC0[z] != 4 || ann.CC1[z] != 3 {
+		t.Errorf("NOT CC = (%d,%d), want (4,3)", ann.CC0[z], ann.CC1[z])
+	}
+	// Observability: z feeds the PO directly (CO 0); y through the NOT
+	// (CO 1); a through the AND needs b=1 (CO 1+1+... = 0+1+1? CO(a) =
+	// CO(y) + CC1(b) + 1 = 1 + 1 + 1 = 3).
+	if ann.CO[z] != 0 || ann.CO[y] != 1 || ann.CO[a] != 3 {
+		t.Errorf("CO = z:%d y:%d a:%d, want 0/1/3", ann.CO[z], ann.CO[y], ann.CO[a])
+	}
+	if ann.FanoutCnt[y] != 1 {
+		t.Errorf("FanoutCnt[y] = %d, want 1", ann.FanoutCnt[y])
+	}
+}
+
+func TestAnnotateTieAndUnreachable(t *testing.T) {
+	n := New("ties")
+	zero := n.Tie0("zero")
+	a := n.Input("a")
+	y := n.And("y", a, zero) // constant 0
+	n.OutputPort("po", y)
+	ann, err := n.Annotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.CC0[zero] != 0 || ann.CC1[zero] != CostInf {
+		t.Errorf("tie-0 CC = (%d,%d), want (0, CostInf)", ann.CC0[zero], ann.CC1[zero])
+	}
+	// y can never be 1: CC1 saturates at CostInf.
+	if ann.CC1[y] != CostInf {
+		t.Errorf("constant-0 AND CC1 = %d, want CostInf", ann.CC1[y])
+	}
+	if ann.CC0[y] != 1 {
+		t.Errorf("constant-0 AND CC0 = %d, want 1", ann.CC0[y])
+	}
+	// a is observable only through y, which needs the tie at 1: CostInf.
+	if ann.CO[a] != CostInf {
+		t.Errorf("CO[a] = %d, want CostInf", ann.CO[a])
+	}
+}
+
+func TestAnnotateMuxAndDFF(t *testing.T) {
+	n := New("muxdff")
+	d0 := n.Input("d0")
+	d1 := n.Input("d1")
+	s := n.Input("s")
+	y := n.Mux2("y", d0, d1, s)
+	q := n.DFF("q", y)
+	n.OutputPort("po", q)
+	ann, err := n.Annotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mux CC0 = min(s0+d0_0, s1+d1_0)+1 = min(1+1, 1+1)+1 = 3.
+	if ann.CC0[y] != 3 || ann.CC1[y] != 3 {
+		t.Errorf("mux CC = (%d,%d), want (3,3)", ann.CC0[y], ann.CC1[y])
+	}
+	// The DFF D pin is an observation point: CO(y) = 0. The FF output is a
+	// pseudo-input: CC = 1.
+	if ann.CO[y] != 0 {
+		t.Errorf("CO at DFF D pin net = %d, want 0", ann.CO[y])
+	}
+	if ann.CC0[q] != 1 || ann.CC1[q] != 1 {
+		t.Errorf("FF output CC = (%d,%d), want (1,1)", ann.CC0[q], ann.CC1[q])
+	}
+}

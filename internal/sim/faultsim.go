@@ -63,72 +63,11 @@ func (s *Simulator) ObsVal(p ObsPoint) logic.PV {
 func GradeComb(n *netlist.Netlist, u *fault.Universe, patterns []Pattern,
 	statePatterns []Pattern, faults []fault.FID) (*fault.Set, error) {
 
-	good, err := New(n)
+	gr, err := NewGrader(n, u)
 	if err != nil {
 		return nil, err
 	}
-	bad, err := New(n)
-	if err != nil {
-		return nil, err
-	}
-	pis := n.PrimaryInputs()
-	ffs := n.FlipFlops()
-	obs := CombObsPoints(n)
-	detected := fault.NewSet(u)
-
-	for base := 0; base < len(patterns); base += logic.WordBits {
-		hi := base + logic.WordBits
-		if hi > len(patterns) {
-			hi = len(patterns)
-		}
-		// Pack the batch.
-		piVals := make([]logic.PV, len(pis))
-		for pi := range pis {
-			v := logic.PVAllX
-			for k := base; k < hi; k++ {
-				v = v.Set(k-base, patterns[k][pi])
-			}
-			piVals[pi] = v
-		}
-		ffVals := make([]logic.PV, len(ffs))
-		for fi := range ffs {
-			v := logic.PVAllX
-			if statePatterns != nil {
-				for k := base; k < hi; k++ {
-					v = v.Set(k-base, statePatterns[k][fi])
-				}
-			}
-			ffVals[fi] = v
-		}
-		apply := func(s *Simulator) {
-			s.ClearState(logic.X)
-			for pi, g := range pis {
-				s.SetInput(n.Gates[g].Out, piVals[pi])
-			}
-			for fi, g := range ffs {
-				s.SetInput(n.Gates[g].Out, ffVals[fi])
-			}
-			s.EvalComb()
-		}
-		apply(good)
-
-		for _, fid := range faults {
-			if detected.Has(fid) {
-				continue
-			}
-			f := u.FaultOf(fid)
-			bad.ClearInjections()
-			bad.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
-			apply(bad)
-			for _, p := range obs {
-				if good.ObsVal(p).Diff(bad.ObsVal(p)) != 0 {
-					detected.Add(fid)
-					break
-				}
-			}
-		}
-	}
-	return detected, nil
+	return gr.Grade(patterns, statePatterns, faults), nil
 }
 
 // Stimulus is a cycle-by-cycle input sequence for sequential grading.

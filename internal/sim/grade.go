@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// Grader is a reusable PPSFP combinational fault-grading engine: it keeps a
+// good and a faulty simulator allocated across calls so tight
+// generate-then-drop loops (the ATPG fleet driver) do not rebuild levelized
+// state per pattern. A Grader is not safe for concurrent use.
+type Grader struct {
+	n    *netlist.Netlist
+	u    *fault.Universe
+	good *Simulator
+	bad  *Simulator
+	pis  []netlist.GateID
+	ffs  []netlist.GateID
+	obs  []ObsPoint
+}
+
+// NewGrader builds a grader for the netlist. Detection points are the
+// full-scan observation points (primary outputs and flip-flop D pins).
+func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
+	good, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Grader{
+		n:    n,
+		u:    u,
+		good: good,
+		bad:  bad,
+		pis:  n.PrimaryInputs(),
+		ffs:  n.FlipFlops(),
+		obs:  CombObsPoints(n),
+	}, nil
+}
+
+// Grade fault-simulates the given faults against the pattern set,
+// pattern-parallel (64 patterns per pass), and returns the set of detected
+// faults. statePatterns drives flip-flop outputs as pseudo-inputs (aligned
+// with Netlist.FlipFlops); nil holds all state at X.
+func (gr *Grader) Grade(patterns, statePatterns []Pattern, faults []fault.FID) *fault.Set {
+	detected := fault.NewSet(gr.u)
+	for base := 0; base < len(patterns); base += logic.WordBits {
+		hi := base + logic.WordBits
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+		gr.gradeBatch(patterns[base:hi], sliceOrNil(statePatterns, base, hi), faults, detected)
+	}
+	return detected
+}
+
+func sliceOrNil(ps []Pattern, lo, hi int) []Pattern {
+	if ps == nil {
+		return nil
+	}
+	return ps[lo:hi]
+}
+
+// gradeBatch grades one word-sized batch of patterns, adding detections to
+// detected and skipping faults already there.
+func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.FID, detected *fault.Set) {
+	piVals := make([]logic.PV, len(gr.pis))
+	for pi := range gr.pis {
+		v := logic.PVAllX
+		for k := range patterns {
+			v = v.Set(k, patterns[k][pi])
+		}
+		piVals[pi] = v
+	}
+	ffVals := make([]logic.PV, len(gr.ffs))
+	for fi := range gr.ffs {
+		v := logic.PVAllX
+		if statePatterns != nil {
+			for k := range statePatterns {
+				v = v.Set(k, statePatterns[k][fi])
+			}
+		}
+		ffVals[fi] = v
+	}
+	apply := func(s *Simulator) {
+		s.ClearState(logic.X)
+		for pi, g := range gr.pis {
+			s.SetInput(gr.n.Gates[g].Out, piVals[pi])
+		}
+		for fi, g := range gr.ffs {
+			s.SetInput(gr.n.Gates[g].Out, ffVals[fi])
+		}
+		s.EvalComb()
+	}
+	apply(gr.good)
+
+	for _, fid := range faults {
+		if detected.Has(fid) {
+			continue
+		}
+		f := gr.u.FaultOf(fid)
+		gr.bad.ClearInjections()
+		gr.bad.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+		apply(gr.bad)
+		for _, p := range gr.obs {
+			if gr.good.ObsVal(p).Diff(gr.bad.ObsVal(p)) != 0 {
+				detected.Add(fid)
+				break
+			}
+		}
+	}
+}

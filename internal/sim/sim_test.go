@@ -357,7 +357,7 @@ func TestParallelLanesIndependent(t *testing.T) {
 	out := s.NetVal(t3)
 	for lane := 0; lane < 64; lane++ {
 		x, y, z := av>>uint(lane)&1, bv>>uint(lane)&1, cv>>uint(lane)&1
-		want := (x&y)^z | x
+		want := (x & y) ^ z | x
 		if got := out.Get(lane); got != logic.FromBit(want) {
 			t.Fatalf("lane %d: got %s want %d", lane, got, want)
 		}
