@@ -1,0 +1,231 @@
+// Command olfui runs the paper's identification flow end-to-end over a
+// dp-built benchmark circuit: a small ALU datapath with a scan chain, a
+// one-hot-decoded operation field, and a write-only trace register — the
+// structures whose faults full-scan ATPG counts as testable although no
+// mission-mode stimulus can expose them. It prints per-scenario ATPG stats,
+// the fault classification, and the coverage-target correction, and exits
+// non-zero if any internal cross-check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"olfui/internal/atpg"
+	"olfui/internal/constraint"
+	"olfui/internal/dp"
+	"olfui/internal/fault"
+	"olfui/internal/flow"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+	"olfui/internal/testutil"
+)
+
+func main() {
+	width := flag.Int("width", 8, "datapath width")
+	workers := flag.Int("workers", 0, "ATPG workers per scenario (0 = NumCPU/scenarios)")
+	limit := flag.Int("limit", 0, "backtrack limit (0 = default)")
+	frames := flag.Int("frames", 2, "time frames for the reach-constrained scenario")
+	selfcheck := flag.Bool("selfcheck", false,
+		"exhaustively verify sampled untestability verdicts (small widths only)")
+	flag.Parse()
+
+	if err := run(*width, *workers, *limit, *frames, *selfcheck); err != nil {
+		fmt.Fprintln(os.Stderr, "olfui:", err)
+		os.Exit(1)
+	}
+}
+
+func run(width, workers, limit, frames int, selfcheck bool) error {
+	n := buildBench(width)
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	fmt.Println(n.CollectStats())
+	u := fault.NewUniverse(n)
+
+	missionTies := []constraint.Transform{
+		constraint.Tie{Net: "scan_en", Value: logic.Zero},
+		constraint.Tie{Net: "scan_in", Value: logic.Zero},
+		constraint.Tie{Net: "debug_en", Value: logic.Zero},
+	}
+	oneHot := constraint.OneHot{Nets: []string{"op0", "op1", "op2", "op3"}}
+	scenarios := []flow.Scenario{
+		{Name: "online", Observe: constraint.ObserveOnline},
+		{
+			Name:       "mission",
+			Transforms: append(append([]constraint.Transform{}, missionTies...), oneHot),
+			Observe:    constraint.ObserveOnline,
+		},
+		{
+			Name: "mission-reach",
+			Transforms: append(append([]constraint.Transform{}, missionTies...),
+				oneHot, constraint.Unroll{Frames: frames}),
+			Observe: constraint.ObserveOutputsAndCaptures,
+		},
+	}
+
+	r, err := flow.Run(n, u, scenarios, flow.Options{
+		ATPG: atpg.Options{Workers: workers, BacktrackLimit: limit},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+
+	printExamples(r, u)
+	if err := crossCheck(r, u); err != nil {
+		return err
+	}
+	if selfcheck {
+		if err := oracleSample(r); err != nil {
+			return err
+		}
+	}
+	fmt.Println("OK")
+	return nil
+}
+
+// buildBench assembles the benchmark: ALU with one-hot-selected result,
+// scan-chained accumulator, and a debug-only trace register.
+func buildBench(width int) *netlist.Netlist {
+	n := netlist.New(fmt.Sprintf("bench%d", width))
+	a := dp.InputBus(n, "a", width)
+	b := dp.InputBus(n, "b", width)
+	cin := n.Input("cin")
+	var op dp.Bus
+	for i := 0; i < 4; i++ {
+		op = append(op, n.Input(fmt.Sprintf("op%d", i)))
+	}
+	scanEn := n.Input("scan_en")
+	scanIn := n.Input("scan_in")
+	debugEn := n.Input("debug_en")
+	rstn := n.Input("rstn")
+
+	sum, cout := dp.RippleAdder(n, "add", a, b, cin)
+	diff, _ := dp.Subtractor(n, "sub", a, b)
+	andv := dp.AndBus(n, "bwand", a, b)
+	xorv := dp.XorBus(n, "bwxor", a, b)
+
+	// One-hot AND-OR result mux: res_i = OR_k (op_k AND unit_k[i]).
+	units := []dp.Bus{sum, diff, andv, xorv}
+	res := make(dp.Bus, width)
+	for i := 0; i < width; i++ {
+		terms := make([]netlist.NetID, len(units))
+		for k, unit := range units {
+			terms[k] = n.And(fmt.Sprintf("rsel%d_%d", k, i), op[k], unit[i])
+		}
+		res[i] = dp.ReduceOr(n, fmt.Sprintf("res%d", i), terms)
+	}
+
+	// Scan-chained accumulator: mission observes its Q bus at the outputs.
+	chain := scanIn
+	acc := make(dp.Bus, width)
+	for i := 0; i < width; i++ {
+		m := n.Mux2(fmt.Sprintf("smux%d", i), res[i], chain, scanEn)
+		acc[i] = n.DFF(fmt.Sprintf("acc%d", i), m)
+		chain = acc[i]
+	}
+	dp.OutputBus(n, "out", acc)
+	n.OutputPort("cout", cout)
+
+	// Debug-only trace register: captures the XOR unit when debug_en=1,
+	// recirculates otherwise, and is never functionally read out.
+	dp.RegisterEn(n, "trace", xorv, debugEn, rstn)
+	return n
+}
+
+// printExamples lists a few faults of the paper's headline category:
+// detected by full-scan ATPG yet functionally untestable.
+func printExamples(r *flow.Report, u *fault.Universe) {
+	fmt.Println("  over-counted fault examples (full-scan detected, functionally untestable):")
+	shown := 0
+	for _, fid := range r.FaultsClassified(flow.FuncUntestable) {
+		if r.Baseline.Status.Get(fid) != fault.Detected {
+			continue
+		}
+		fmt.Printf("    %-28s evidence: %s\n", u.Describe(u.FaultOf(fid)), r.EvidenceName(fid))
+		if shown++; shown >= 5 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("    (none)")
+	}
+}
+
+// crossCheck enforces the flow's internal invariants.
+func crossCheck(r *flow.Report, u *fault.Universe) error {
+	s := r.Summarize()
+	if s.OverCounted == 0 {
+		return fmt.Errorf("cross-check: benchmark produced no over-counted faults")
+	}
+	for _, fid := range r.FaultsClassified(flow.FuncUntestable) {
+		ev, ok := r.Evidence(fid)
+		if !ok {
+			return fmt.Errorf("cross-check: fault %d lacks evidence", fid)
+		}
+		if ev == flow.EvidenceFullScan {
+			if st := r.Baseline.Status.Get(fid); st != fault.Untestable {
+				return fmt.Errorf("cross-check: fault %d cites full-scan but baseline says %v", fid, st)
+			}
+		} else if st := r.Scenarios[ev].Projected.Get(fid); st != fault.Untestable {
+			return fmt.Errorf("cross-check: fault %d cites %q but scenario says %v",
+				fid, r.Scenarios[ev].Scenario.Name, st)
+		}
+	}
+	// The baseline pattern set must detect what the baseline claims, and
+	// none of the faults it proved untestable.
+	det := r.Baseline.Status.FaultsWith(fault.Detected)
+	grader, err := sim.NewGrader(r.N, u)
+	if err != nil {
+		return err
+	}
+	simDet := grader.Grade(r.Baseline.Patterns, r.Baseline.States, det)
+	if simDet.Count() != len(det) {
+		return fmt.Errorf("cross-check: pattern set detects %d/%d detected-classified faults",
+			simDet.Count(), len(det))
+	}
+	unt := r.Baseline.Status.FaultsWith(fault.Untestable)
+	simUnt := grader.Grade(r.Baseline.Patterns, r.Baseline.States, unt)
+	if simUnt.Count() != 0 {
+		return fmt.Errorf("cross-check: pattern set detects %d untestable-classified faults", simUnt.Count())
+	}
+	fmt.Printf("  cross-check: %d detections and %d untestability verdicts confirmed by fault simulation\n",
+		len(det), len(unt))
+	return nil
+}
+
+// oracleSample exhaustively verifies a sample of each scenario's
+// untestability verdicts on the scenario's own clone.
+func oracleSample(r *flow.Report) error {
+	const maxPerScenario = 24
+	for _, sr := range r.Scenarios {
+		if got := len(testutil.Controllables(sr.Clone)); got > testutil.MaxExhaustiveInputs {
+			fmt.Printf("  selfcheck %q: skipped (%d controllables)\n", sr.Scenario.Name, got)
+			continue
+		}
+		o, err := testutil.NewOracle(sr.Clone, sr.Obs)
+		if err != nil {
+			return err
+		}
+		checked := 0
+		for id := 0; id < sr.Universe.NumFaults() && checked < maxPerScenario; id++ {
+			fid := fault.FID(id)
+			if sr.Outcome.Status.Get(fid) != fault.Untestable {
+				continue
+			}
+			f := sr.Universe.FaultOf(fid)
+			if detectable, w := o.Detectable(f); detectable {
+				return fmt.Errorf("selfcheck %q: %s marked untestable but detected by %v",
+					sr.Scenario.Name, sr.Universe.Describe(f), w)
+			}
+			checked++
+		}
+		fmt.Printf("  selfcheck %q: %d untestability verdicts exhaustively confirmed\n",
+			sr.Scenario.Name, checked)
+	}
+	return nil
+}

@@ -70,6 +70,13 @@ type Options struct {
 	BacktrackLimit int
 	// Workers bounds GenerateAll's concurrency. 0 means runtime.NumCPU().
 	Workers int
+	// ObsPoints restricts where fault effects count as detected. Nil means
+	// the full-scan set (sim.CombObsPoints: primary outputs plus flip-flop
+	// D pins); an explicit set models restricted observability, e.g. the
+	// output-only observation of an on-line functional test. Untestable
+	// verdicts are then proofs relative to this set, and GenerateAll's
+	// fault dropping grades at the same points so the two never disagree.
+	ObsPoints []sim.ObsPoint
 }
 
 // DefaultBacktrackLimit is the per-fault decision-flip budget when
@@ -109,9 +116,20 @@ type Engine struct {
 	// PrimaryInputs order, then flip-flop outputs in FlipFlops order.
 	assignable []netlist.NetID
 	numPI      int
+	// deadIn[i] marks assignables whose net has no fanout (e.g. a primary
+	// input whose readers a constraint transform rewired to a tie): they
+	// cannot influence anything, so decisions on them only bloat the tree.
+	// They stay in assignable to keep Pattern/State index alignment.
+	deadIn []bool
 	// pIdx[net] is the assignable index of a net, -1 otherwise.
 	pIdx []int32
 	obs  []sim.ObsPoint
+	// obsMask[g] has bit p set when input pin p of gate g is an
+	// observation point — the X-path pruning DFS tests pins in its inner
+	// loop, so the check must not hash. Pins >= 64 (pathologically wide
+	// gates) fall back to obsPin.
+	obsMask []uint64
+	obsPin  map[netlist.Pin]bool
 
 	// Per-Generate search state.
 	val        []logic.D5 // per net
@@ -145,14 +163,27 @@ func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Optio
 	if opts.BacktrackLimit <= 0 {
 		opts.BacktrackLimit = DefaultBacktrackLimit
 	}
+	obs := opts.ObsPoints
+	if obs == nil {
+		obs = sim.CombObsPoints(n)
+	}
 	e := &Engine{
 		n:       n,
 		ann:     ann,
 		opts:    opts,
 		pIdx:    make([]int32, len(n.Nets)),
-		obs:     sim.CombObsPoints(n),
+		obs:     obs,
+		obsMask: make([]uint64, len(n.Gates)),
+		obsPin:  make(map[netlist.Pin]bool),
 		val:     make([]logic.D5, len(n.Nets)),
 		visited: make([]bool, len(n.Nets)),
+	}
+	for _, p := range obs {
+		if p.Pin < 64 {
+			e.obsMask[p.Gate] |= 1 << uint(p.Pin)
+		} else {
+			e.obsPin[netlist.Pin{Gate: p.Gate, In: p.Pin}] = true
+		}
 	}
 	for i := range e.pIdx {
 		e.pIdx[i] = -1
@@ -163,6 +194,10 @@ func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Optio
 	e.numPI = len(e.assignable)
 	for _, g := range n.FlipFlops() {
 		e.addAssignable(n.Gates[g].Out)
+	}
+	e.deadIn = make([]bool, len(e.assignable))
+	for i, net := range e.assignable {
+		e.deadIn[i] = len(n.Nets[net].Fanout) == 0
 	}
 	e.assigns = make([]logic.V, len(e.assignable))
 	e.demand = make([]objDemand, len(e.assignable))

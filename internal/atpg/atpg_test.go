@@ -301,3 +301,71 @@ func TestGenerateAllSingleWorkerDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRestrictedObservables(t *testing.T) {
+	// Two cones: one ends at an unread register's D pin, one at a primary
+	// output. Restricting observation to outputs must flip the hidden
+	// cone's verdicts from Detected to Untestable — with proofs, since the
+	// search space is unchanged.
+	n := netlist.New("robs")
+	a, b := n.Input("a"), n.Input("b")
+	hidden := n.And("hidden", a, b)
+	n.DFF("q", hidden)
+	vis := n.Or("vis", a, b)
+	n.OutputPort("po", vis)
+	u := fault.NewUniverse(n)
+	hg, _ := n.GateByName("hidden")
+	vg, _ := n.GateByName("vis")
+
+	full, err := GenerateAll(n, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := GenerateAll(n, u, Options{ObsPoints: sim.OutputObsPoints(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sa := range []logic.V{logic.Zero, logic.One} {
+		hf := u.IDOf(fault.Fault{Site: fault.Site{Gate: hg, Pin: fault.OutputPin}, SA: sa})
+		vf := u.IDOf(fault.Fault{Site: fault.Site{Gate: vg, Pin: fault.OutputPin}, SA: sa})
+		if got := full.Status.Get(hf); got != fault.Detected {
+			t.Errorf("full-scan hidden s-a-%s: %v, want detected", sa, got)
+		}
+		if got := ol.Status.Get(hf); got != fault.Untestable {
+			t.Errorf("output-only hidden s-a-%s: %v, want untestable", sa, got)
+		}
+		if got := ol.Status.Get(vf); got != fault.Detected {
+			t.Errorf("output-only vis s-a-%s: %v, want detected", sa, got)
+		}
+	}
+	// Restricted runs must never report more detections than full scan.
+	cf, co := full.Status.Counts(), ol.Status.Counts()
+	if co[fault.Detected] > cf[fault.Detected] {
+		t.Errorf("restricted obs detected %d > full-scan %d", co[fault.Detected], cf[fault.Detected])
+	}
+}
+
+func TestEngineObsSubsetOfOutputs(t *testing.T) {
+	// Observing a strict subset of the primary outputs: a fault whose only
+	// path leads to the unobserved output becomes untestable.
+	n := netlist.New("subset")
+	a, b := n.Input("a"), n.Input("b")
+	n.OutputPort("po0", n.And("y0", a, b))
+	n.OutputPort("po1", n.Or("y1", a, b))
+	po0, _ := n.GateByName("po0")
+	y1g, _ := n.GateByName("y1")
+
+	eng, err := New(n, Options{ObsPoints: []sim.ObsPoint{{Gate: po0, Pin: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Generate(fault.Fault{Site: fault.Site{Gate: y1g, Pin: fault.OutputPin}, SA: logic.Zero})
+	if r.Verdict != Untestable {
+		t.Errorf("fault on unobserved cone: %v, want untestable", r.Verdict)
+	}
+	y0g, _ := n.GateByName("y0")
+	r = eng.Generate(fault.Fault{Site: fault.Site{Gate: y0g, Pin: fault.OutputPin}, SA: logic.Zero})
+	if r.Verdict != Detected {
+		t.Errorf("fault on observed cone: %v, want detected", r.Verdict)
+	}
+}

@@ -76,7 +76,10 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 		}
 	}
 	status := fault.NewStatusMap(u)
-	grader, err := sim.NewGrader(n, u)
+	// The dropping grader must observe exactly what the engines observe:
+	// under restricted observability a pattern only drops a fault if the
+	// difference shows at a point the scenario can actually see.
+	grader, err := sim.NewGraderObs(n, u, opts.ObsPoints)
 	if err != nil {
 		return nil, err
 	}

@@ -56,9 +56,11 @@ func (e *Engine) nextObjective() (objective, bool) {
 	// with composite values such as (0,X), where propagation hinges on the
 	// faulty machine alone). Fall back to assigning any free input: the
 	// decision tree still covers the full search space, so soundness and
-	// completeness are preserved, only heuristic quality drops.
+	// completeness are preserved, only heuristic quality drops. Dead
+	// (fanout-free) inputs are skipped: they cannot influence any net, so
+	// decisions on them would only double the subtree per dead input.
 	for i, v := range e.assigns {
-		if v == logic.X {
+		if v == logic.X && !e.deadIn[i] {
 			val := logic.Zero
 			if e.ann.CC1[e.assignable[i]] < e.ann.CC0[e.assignable[i]] {
 				val = logic.One
@@ -91,6 +93,15 @@ func (e *Engine) computeFrontier() {
 	})
 }
 
+// observable reports whether a gate input pin is one of the engine's
+// observation points.
+func (e *Engine) observable(g netlist.GateID, pin int32) bool {
+	if pin < 64 {
+		return e.obsMask[g]&(1<<uint(pin)) != 0
+	}
+	return e.obsPin[netlist.Pin{Gate: g, In: pin}]
+}
+
 // sitePathOpen reports whether the (not yet activated) fault site still has
 // an X-path to an observation point. Before activation no net carries a full
 // fault effect, so any eventual detection path must currently consist of
@@ -101,11 +112,14 @@ func (e *Engine) sitePathOpen() bool {
 	if e.flt.Pin != fault.OutputPin {
 		// A pin fault propagates only through its own gate; the pin may
 		// itself be an observation point.
-		switch g.Kind {
-		case netlist.KOutput:
+		if e.observable(e.flt.Gate, e.flt.Pin) {
 			return true
-		case netlist.KDFF, netlist.KDFFR:
-			return e.flt.Pin == netlist.DffD
+		}
+		switch g.Kind {
+		case netlist.KOutput, netlist.KDFF, netlist.KDFFR:
+			// No combinational output to propagate through; only the pin
+			// itself (checked above) could have observed the fault.
+			return false
 		}
 		if g.Out == netlist.InvalidNet || !e.val[g.Out].HasX() {
 			return false
@@ -118,7 +132,9 @@ func (e *Engine) sitePathOpen() bool {
 // xPathFrom reports whether any root net still has a path of X-bearing nets
 // to an observation point. Implication is monotone, so a missing X-path
 // proves the fault effect can never reach that observation point under the
-// current assignment.
+// current assignment. Only pins in the engine's observation set terminate the
+// search: under restricted observability (e.g. output-only, or a subset of
+// outputs) a path into an unobserved flip-flop or output is a dead end.
 func (e *Engine) xPathFrom(roots []netlist.NetID) bool {
 	for i := range e.visited {
 		e.visited[i] = false
@@ -134,16 +150,14 @@ func (e *Engine) xPathFrom(roots []netlist.NetID) bool {
 		net := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, p := range e.n.Nets[net].Fanout {
+			if e.observable(p.Gate, p.In) {
+				return true
+			}
 			g := &e.n.Gates[p.Gate]
 			switch g.Kind {
-			case netlist.KOutput:
-				return true
-			case netlist.KDFF, netlist.KDFFR:
-				if p.In == netlist.DffD {
-					return true
-				}
-				continue
-			case netlist.KDead:
+			case netlist.KOutput, netlist.KDFF, netlist.KDFFR, netlist.KDead:
+				// Fault effects stop here; observability was decided by
+				// the pin check above.
 				continue
 			}
 			if g.Out == netlist.InvalidNet || e.visited[g.Out] || !e.val[g.Out].HasX() {

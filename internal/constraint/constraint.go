@@ -1,0 +1,311 @@
+// Package constraint implements composable mission-mode transforms: circuit
+// manipulations that restrict a netlist clone to what the design can actually
+// do in its functional (on-line) configuration. The paper's functionally
+// untestable faults are exactly the faults the ATPG engine proves Untestable
+// on such a constrained clone.
+//
+// Every transform operates on a netlist.Clone and preserves the identity
+// contract (append gates/nets, tombstone, rewire — never renumber), so fault
+// sites enumerated on the original netlist stay valid on the transformed
+// clone and verdicts can be projected back (fault.Project).
+//
+// # Soundness convention
+//
+// A transform must OVER-approximate mission-mode capability: every stimulus
+// the real mission configuration can produce must remain producible on the
+// constrained clone. Then "Untestable on the clone" implies "untestable in
+// mission mode", which is the direction the identification flow needs —
+// constraints may only ever remove spurious test-mode freedom (scan inputs,
+// debug pins, unreachable states), never functional freedom. Where a
+// transform is configurable beyond this guarantee (see Unroll.ResetInit) the
+// caveat is documented at the option.
+//
+// # Stem attribution on rewired nets
+//
+// Rewiring the readers of a net (Tie, OneHot) leaves the original driver
+// with an unread output, so the driver's own output-pin (stem) faults are
+// classified from the constrained configuration's viewpoint: the pin is not
+// part of the mission circuit and its faults come out untestable. For
+// disabled test/debug pins that matches the paper's accounting. Faults on
+// the readers' input pins (the branches) keep exact per-pin stuck-at
+// semantics throughout. Verdicts are, in every case, machine-checked proofs
+// about the scenario's model — internal/testutil's exhaustive oracle
+// re-derives them by brute force; how faithfully the model captures the real
+// mission configuration is decided by the scenario author, not the engine.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// Transform is one mission-mode constraint, applied in place to a clone.
+type Transform interface {
+	// Describe renders the transform for reports.
+	Describe() string
+	// Apply mutates the clone, preserving the identity contract.
+	Apply(c *netlist.Netlist) error
+}
+
+// Apply runs a list of transforms in order and validates the result.
+func Apply(c *netlist.Netlist, ts ...Transform) error {
+	for _, t := range ts {
+		if err := t.Apply(c); err != nil {
+			return fmt.Errorf("constraint %s: %w", t.Describe(), err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("constraint: transformed clone invalid: %w", err)
+	}
+	return nil
+}
+
+// Tie pins a named net to a constant: every reader of the net is rewired to a
+// synthetic tie. This models mission-disabled inputs — scan enables, test
+// mode selects, debug pins — and constant state bits. The original driver
+// keeps its (now unread) net, so its faults become provably unobservable,
+// which is the correct mission-mode verdict for a disconnected pin.
+type Tie struct {
+	Net   string  // net name on the clone (input port nets carry the port name)
+	Value logic.V // logic.Zero or logic.One
+}
+
+// Describe implements Transform.
+func (t Tie) Describe() string { return fmt.Sprintf("tie(%s=%s)", t.Net, t.Value) }
+
+// Apply implements Transform.
+func (t Tie) Apply(c *netlist.Netlist) error {
+	if !t.Value.IsKnown() {
+		return fmt.Errorf("tie value must be 0 or 1, got %s", t.Value)
+	}
+	net, ok := c.NetByName(t.Net)
+	if !ok {
+		return fmt.Errorf("no net %q", t.Net)
+	}
+	tie := c.AddSyntheticTie(uniqueName(c, "tie$"+t.Net), t.Value == logic.One)
+	c.RewireFanout(net, tie)
+	return nil
+}
+
+// OneHot constrains a field of input nets so that at most one of them is 1:
+// the readers of each net are rewired to one output of a synthetic decoder
+// driven by fresh synthetic select inputs. This models one-hot-decoded
+// control fields (e.g. an opcode field after the instruction decoder): the
+// search may still choose which line fires, or — via the decoder's reserved
+// idle encodings — none, but can never fire two at once.
+//
+// "At most one hot" (rather than exactly one) keeps the transform an
+// over-approximation of any mission encoding, so untestability verdicts stay
+// sound regardless of whether the real decoder has idle encodings. The
+// decoder is therefore sized to 2^bits >= k+1: at least one select encoding
+// always maps to "no line fires".
+type OneHot struct {
+	Nets []string // the constrained field, one net name per line
+}
+
+// Describe implements Transform.
+func (o OneHot) Describe() string { return fmt.Sprintf("onehot(%v)", o.Nets) }
+
+// Apply implements Transform.
+func (o OneHot) Apply(c *netlist.Netlist) error {
+	k := len(o.Nets)
+	if k < 2 {
+		return fmt.Errorf("one-hot field needs >= 2 nets, got %d", k)
+	}
+	nets := make([]netlist.NetID, k)
+	for i, name := range o.Nets {
+		id, ok := c.NetByName(name)
+		if !ok {
+			return fmt.Errorf("no net %q", name)
+		}
+		nets[i] = id
+	}
+	bits := 1
+	for 1<<uint(bits) < k+1 { // reserve an idle encoding
+		bits++
+	}
+	prefix := uniquePrefix(c, "oh$"+o.Nets[0])
+	sel := make([]netlist.NetID, bits)
+	inv := make([]netlist.NetID, bits)
+	for b := 0; b < bits; b++ {
+		sel[b] = c.AddSyntheticInput(fmt.Sprintf("%s_s%d", prefix, b))
+		inv[b] = c.Gates[c.AddSyntheticGate(netlist.KNot, fmt.Sprintf("%s_n%d", prefix, b), sel[b])].Out
+	}
+	for v := 0; v < k; v++ {
+		terms := make([]netlist.NetID, bits)
+		for b := 0; b < bits; b++ {
+			if v>>uint(b)&1 == 1 {
+				terms[b] = sel[b]
+			} else {
+				terms[b] = inv[b]
+			}
+		}
+		line := c.Gates[c.AddSyntheticGate(netlist.KAnd, fmt.Sprintf("%s_o%d", prefix, v), terms...)].Out
+		c.RewireFanout(nets[v], line)
+	}
+	return nil
+}
+
+// uniqueName returns name, suffixed if a gate of that name already exists
+// (repeated application of similar transforms must not collide).
+func uniqueName(c *netlist.Netlist, name string) string {
+	if _, dup := c.GateByName(name); !dup {
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s$%d", name, i)
+		if _, dup := c.GateByName(cand); !dup {
+			return cand
+		}
+	}
+}
+
+// uniquePrefix returns base, suffixed if any existing gate or net name
+// already lives under it (equals it, or starts with it plus "_"). Transforms
+// that derive whole families of names from one prefix (OneHot, Unroll) use
+// this so repeated application cannot collide with earlier applications or
+// with the design's own names.
+func uniquePrefix(c *netlist.Netlist, base string) string {
+	free := func(p string) bool {
+		pre := p + "_"
+		for i := range c.Gates {
+			if n := c.Gates[i].Name; n == p || strings.HasPrefix(n, pre) {
+				return false
+			}
+		}
+		for i := range c.Nets {
+			if n := c.Nets[i].Name; n == p || strings.HasPrefix(n, pre) {
+				return false
+			}
+		}
+		return true
+	}
+	if free(base) {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s$%d", base, i)
+		if free(cand) {
+			return cand
+		}
+	}
+}
+
+// outputReachingFFs returns the flip-flops whose state can reach a primary
+// output, possibly through further flip-flops: one reverse pass from the
+// output pins, crossing register boundaries backward — linear in the
+// circuit, however many flip-flops there are.
+func outputReachingFFs(c *netlist.Netlist) map[netlist.GateID]bool {
+	marked := make([]bool, len(c.Nets))
+	var stack []netlist.NetID
+	push := func(n netlist.NetID) {
+		if n != netlist.InvalidNet && !marked[n] {
+			marked[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, g := range c.PrimaryOutputs() {
+		push(c.Gate(g).Ins[0])
+	}
+	ffs := map[netlist.GateID]bool{}
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := c.Net(net).Driver
+		if d == netlist.InvalidGate {
+			continue
+		}
+		g := c.Gate(d)
+		if g.Kind == netlist.KDead {
+			continue
+		}
+		if g.Kind.IsState() {
+			ffs[d] = true
+		}
+		for _, in := range g.Ins {
+			push(in)
+		}
+	}
+	return ffs
+}
+
+// ObsFn selects the observation points of a scenario on the transformed
+// clone. Nil in a scenario means full-scan observation.
+type ObsFn func(*netlist.Netlist) []sim.ObsPoint
+
+// ObserveFullScan observes primary outputs and flip-flop D pins — the
+// full-scan reference.
+func ObserveFullScan(c *netlist.Netlist) []sim.ObsPoint { return sim.CombObsPoints(c) }
+
+// ObserveOutputs observes primary outputs only — what an on-line functional
+// test can compare. Flip-flop D pins are not observed: mission mode never
+// shifts state out.
+//
+// On a clone with live flip-flops this models SINGLE-CYCLE observation:
+// every register boundary is opaque, so faults whose only path to an output
+// crosses state are untestable within the scenario even though a longer
+// mission run might surface them. That is the natural semantics for unrolled
+// (time-expanded) clones, where the registers have been eliminated and the
+// final frame is the observation cycle; for clones with live state prefer
+// ObserveOnline unless single-cycle semantics is intended.
+func ObserveOutputs(c *netlist.Netlist) []sim.ObsPoint { return sim.OutputObsPoints(c) }
+
+// ObserveOnline observes primary outputs plus the D pins of exactly those
+// flip-flops whose state can structurally reach a primary output (crossing
+// further registers). This is the sound single-frame approximation of
+// multi-cycle on-line observation: a fault effect captured into such a
+// flip-flop may surface at an output in a later cycle, so it must count as
+// potentially observed — while state that is never functionally read out
+// (trace/debug registers, write-only status) cannot expose faults no matter
+// how long the mission runs, which is precisely the paper's on-line blind
+// spot.
+func ObserveOnline(c *netlist.Netlist) []sim.ObsPoint {
+	var pts []sim.ObsPoint
+	for _, g := range c.PrimaryOutputs() {
+		pts = append(pts, sim.ObsPoint{Gate: g, Pin: 0})
+	}
+	reaching := outputReachingFFs(c)
+	for _, f := range c.FlipFlops() {
+		if reaching[f] {
+			pts = append(pts, sim.ObsPoint{Gate: f, Pin: netlist.DffD})
+		}
+	}
+	return pts
+}
+
+// ObserveOutputsAndCaptures observes primary outputs plus the capture probes
+// Unroll planted on observable next-state nets — the sound observation model
+// for time-expanded scenarios: a fault effect the final frame writes into
+// output-reaching state counts as (eventually) observed, while state that
+// never surfaces functionally does not. On clones without an Unroll
+// transform it degrades to ObserveOutputs.
+func ObserveOutputsAndCaptures(c *netlist.Netlist) []sim.ObsPoint {
+	pts := sim.OutputObsPoints(c)
+	for _, g := range c.Groups[CaptureGroup] {
+		pts = append(pts, sim.ObsPoint{Gate: g, Pin: 0})
+	}
+	return pts
+}
+
+// ObserveOutputsNamed restricts observation to the named primary-output
+// gates, modeling outputs an on-line checker actually monitors (e.g. a bus
+// with a parity checker while status pins float).
+func ObserveOutputsNamed(names ...string) ObsFn {
+	return func(c *netlist.Netlist) []sim.ObsPoint {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+		var pts []sim.ObsPoint
+		for _, g := range c.PrimaryOutputs() {
+			if want[c.Gate(g).Name] {
+				pts = append(pts, sim.ObsPoint{Gate: g, Pin: 0})
+			}
+		}
+		return pts
+	}
+}

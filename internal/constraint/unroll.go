@@ -1,0 +1,170 @@
+package constraint
+
+import (
+	"fmt"
+
+	"olfui/internal/netlist"
+)
+
+// CaptureGroup is the netlist group collecting the synthetic capture probes
+// Unroll plants on the final frame's observable next-state nets.
+const CaptureGroup = "unroll_captures"
+
+// Unroll replaces the full-scan state assumption by a k-frame sequential
+// reach constraint: the clone's flip-flops are tombstoned and their output
+// nets are re-driven by Frames-1 appended synthetic copies of the
+// combinational logic, chained through the next-state function. PODEM then
+// assigns only the frame inputs (and, with FreeInit, the frame-0 state), so
+// every state it can present to the final frame is the image of Frames-1
+// functional clock cycles — pseudo-inputs stop being freely controllable.
+//
+// With the default free initial state this over-approximates mission
+// reachability (every mission state at cycle t >= Frames-1 is the image of
+// Frames-1 functional steps from *some* state), so Untestable verdicts remain
+// sound mission evidence. Frame copies are synthetic: the fault is modeled in
+// the final frame only, the standard single-observation-time approximation.
+//
+// Faults on the tombstoned flip-flop gates themselves do not exist on the
+// unrolled clone and receive no verdict from this scenario; the flow reports
+// them from other scenarios or leaves them unresolved.
+type Unroll struct {
+	// Frames is the total frame count including the final observed frame.
+	// Frames=1 with ResetInit degenerates to "combinational at reset".
+	Frames int
+	// ResetInit ties the frame-0 state to the reset value (all zeros)
+	// instead of free synthetic inputs. This UNDER-approximates mission
+	// reachability beyond cycle Frames-1 — use it only for scenarios that
+	// explicitly model "the first Frames cycles after reset"; verdicts are
+	// then relative to that scenario, not to mission mode at large.
+	ResetInit bool
+}
+
+// Describe implements Transform.
+func (u Unroll) Describe() string {
+	init := "free"
+	if u.ResetInit {
+		init = "reset"
+	}
+	return fmt.Sprintf("unroll(frames=%d,init=%s)", u.Frames, init)
+}
+
+// Apply implements Transform.
+func (u Unroll) Apply(c *netlist.Netlist) error {
+	if u.Frames < 1 {
+		return fmt.Errorf("frames must be >= 1, got %d", u.Frames)
+	}
+	ffs := c.FlipFlops()
+	if len(ffs) == 0 {
+		return fmt.Errorf("netlist %q has no flip-flops to unroll", c.Name)
+	}
+	order, err := c.Levelize()
+	if err != nil {
+		return err
+	}
+	numGates, numNets := len(c.Gates), len(c.Nets)
+	prefix := uniquePrefix(c, "uf")
+
+	ffIdx := make(map[netlist.GateID]int, len(ffs))
+	for i, f := range ffs {
+		ffIdx[f] = i
+	}
+
+	// state[i] is the net carrying flip-flop i's output value entering the
+	// frame currently being built.
+	state := make([]netlist.NetID, len(ffs))
+	if u.ResetInit {
+		z := c.AddSyntheticTie(prefix+"_rst0", false)
+		for i := range state {
+			state[i] = z
+		}
+	} else {
+		for i, f := range ffs {
+			state[i] = c.AddSyntheticInput(fmt.Sprintf("%s_s0_%s", prefix, c.Gate(f).Name))
+		}
+	}
+
+	for frame := 0; frame < u.Frames-1; frame++ {
+		// nmap translates a pre-unroll net to its copy in this frame.
+		nmap := make([]netlist.NetID, numNets)
+		for i := range nmap {
+			nmap[i] = netlist.InvalidNet
+		}
+		// Frame-invariant or frame-local sources.
+		for gi := 0; gi < numGates; gi++ {
+			g := c.Gate(netlist.GateID(gi))
+			switch g.Kind {
+			case netlist.KInput:
+				if len(c.Net(g.Out).Fanout) > 0 {
+					nmap[g.Out] = c.AddSyntheticInput(fmt.Sprintf("%s_f%d_%s", prefix, frame, g.Name))
+				}
+			case netlist.KTie0, netlist.KTie1:
+				nmap[g.Out] = g.Out // constants are frame-invariant
+			case netlist.KDFF, netlist.KDFFR:
+				nmap[g.Out] = state[ffIdx[netlist.GateID(gi)]]
+			}
+		}
+		// A net with no live driver reads X in every frame: share it.
+		resolve := func(in netlist.NetID) netlist.NetID {
+			if nmap[in] != netlist.InvalidNet {
+				return nmap[in]
+			}
+			return in
+		}
+		// Combinational copies in levelized order.
+		for _, gid := range order {
+			g := c.Gate(gid)
+			if g.Kind == netlist.KOutput {
+				continue // earlier frames are not observed
+			}
+			ins := make([]netlist.NetID, len(g.Ins))
+			for p, in := range g.Ins {
+				ins[p] = resolve(in)
+			}
+			ng := c.AddSyntheticGate(g.Kind, fmt.Sprintf("%s_f%d_%s", prefix, frame, g.Name), ins...)
+			nmap[g.Out] = c.Gates[ng].Out
+		}
+		// Next-state function of this frame feeds the following one.
+		next := make([]netlist.NetID, len(ffs))
+		for i, f := range ffs {
+			g := c.Gate(f)
+			d := resolve(g.Ins[netlist.DffD])
+			if g.Kind == netlist.KDFFR {
+				// Synchronous reset-to-0: next = rstn AND d (identical to
+				// Mux(rstn, 0, d) in ternary and D-calculus).
+				rstn := resolve(g.Ins[netlist.DffRstN])
+				d = c.Gates[c.AddSyntheticGate(netlist.KAnd,
+					fmt.Sprintf("%s_f%d_ns_%s", prefix, frame, g.Name), rstn, d)].Out
+			}
+			next[i] = d
+		}
+		state = next
+	}
+
+	// Capture probes: the final frame's next-state values ARE observed in
+	// mission mode — one cycle later, through any flip-flop whose state
+	// reaches a primary output. A synthetic buffer per such flip-flop
+	// keeps its D-net addressable as an observation point after the
+	// flip-flop itself is tombstoned (ObserveOutputsAndCaptures); without
+	// them, output-only observation would wrongly condemn the entire
+	// D-cone of the final frame.
+	reaching := outputReachingFFs(c)
+	for _, f := range ffs {
+		if !reaching[f] {
+			continue
+		}
+		probe := c.AddSyntheticGate(netlist.KBuf,
+			fmt.Sprintf("%s_cap_%s", prefix, c.Gate(f).Name), c.Gate(f).Ins[netlist.DffD])
+		c.AddGroup(CaptureGroup, probe)
+	}
+
+	// Splice the final frame onto the last computed state: tombstone each
+	// flip-flop and re-drive its output net.
+	for i, f := range ffs {
+		out := c.Gate(f).Out
+		name := c.Gate(f).Name
+		c.KillGate(f)
+		b := c.AddGateOut(netlist.KBuf, fmt.Sprintf("%s_splice_%s", prefix, name), out, state[i])
+		c.MarkSynthetic(b)
+	}
+	return nil
+}

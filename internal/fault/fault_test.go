@@ -223,3 +223,60 @@ func TestCollapseRepIdempotentAndPartition(t *testing.T) {
 		t.Error("NumClasses inconsistent with Rep partition")
 	}
 }
+
+func TestProjectAcrossUniverses(t *testing.T) {
+	n, u := build(t)
+	// Clone, tombstone the flip-flop and add a synthetic tie: the clone
+	// universe renumbers densely but shares the surviving sites.
+	c := n.Clone()
+	qg, _ := c.GateByName("q")
+	c.KillGate(qg)
+	tie := c.AddSyntheticTie("tie0", false)
+	po, _ := c.GateByName("po")
+	c.RewirePin(netlist.Pin{Gate: po, In: 0}, tie)
+	cu := NewUniverse(c)
+	if cu.NumFaults() >= u.NumFaults() {
+		t.Fatalf("clone universe %d should be smaller than original %d", cu.NumFaults(), u.NumFaults())
+	}
+
+	yg, _ := c.GateByName("y")
+	m := NewStatusMap(cu)
+	fy := Fault{Site{yg, OutputPin}, logic.Zero}
+	m.Set(cu.IDOf(fy), Untestable)
+	fp := Fault{Site{po, 0}, logic.One}
+	m.Set(cu.IDOf(fp), Detected)
+
+	p := Project(cu, m, u)
+	if p.Len() != u.NumFaults() {
+		t.Fatalf("projected map sized %d, want %d", p.Len(), u.NumFaults())
+	}
+	if got := p.Get(u.IDOf(fy)); got != Untestable {
+		t.Errorf("projected y/Z s-a-0: %v, want untestable", got)
+	}
+	if got := p.Get(u.IDOf(fp)); got != Detected {
+		t.Errorf("projected po/A0 s-a-1: %v, want detected", got)
+	}
+	// Faults on the tombstoned gate exist only in the original universe
+	// and must stay Undetected after projection.
+	fq := Fault{Site{qg, OutputPin}, logic.Zero}
+	if cu.IDOf(fq) != InvalidFID {
+		t.Fatal("dead gate fault should be absent from clone universe")
+	}
+	if got := p.Get(u.IDOf(fq)); got != Undetected {
+		t.Errorf("dead-gate fault projected as %v, want undetected", got)
+	}
+}
+
+func TestProjectRoundTripIdentity(t *testing.T) {
+	_, u := build(t)
+	m := NewStatusMap(u)
+	for id := 0; id < u.NumFaults(); id++ {
+		m.Set(FID(id), Status(id%int(statusCount)))
+	}
+	p := Project(u, m, u)
+	for id := 0; id < u.NumFaults(); id++ {
+		if p.Get(FID(id)) != m.Get(FID(id)) {
+			t.Fatalf("identity projection changed fault %d", id)
+		}
+	}
+}

@@ -72,3 +72,25 @@ func (m *StatusMap) SpreadClasses(c *Collapse) {
 		m.st[i] = m.st[c.Rep(FID(i))]
 	}
 }
+
+// Project translates a StatusMap recorded against universe src onto universe
+// dst. Because circuit manipulation preserves gate IDs, fault sites are
+// shared between the universes even though their dense numbering differs
+// (dead or synthetic gates contribute no sites). Faults whose site does not
+// exist in dst are dropped; dst faults with no src counterpart (e.g. faults
+// on a gate the manipulated clone tombstoned) stay Undetected. This is how
+// the identification flow attributes verdicts proven on a mission-constrained
+// clone back to the original fault universe.
+func Project(src *Universe, m *StatusMap, dst *Universe) *StatusMap {
+	out := NewStatusMap(dst)
+	for id := 0; id < src.NumFaults(); id++ {
+		s := m.Get(FID(id))
+		if s == Undetected {
+			continue
+		}
+		if did := dst.IDOf(src.FaultOf(FID(id))); did != InvalidFID {
+			out.Set(did, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+// Package flow implements the paper's identification pipeline for on-line
+// functionally untestable faults. It takes the original netlist plus a set of
+// named mission-mode scenarios (constraint transform stacks with an
+// observation-point selection), runs the PODEM fleet on each constrained
+// clone in parallel, projects every per-scenario StatusMap back onto the
+// original fault universe, and classifies every fault of the universe:
+//
+//   - FullScanTestable — detected by the unconstrained full-scan baseline
+//     and not proven functionally untestable;
+//   - FuncUntestable — proven Untestable on at least one scenario clone (or
+//     already untestable full-scan, which subsumes every scenario); the
+//     proving scenario is kept as evidence;
+//   - Unresolved — neither (aborted searches, or faults no scenario could
+//     evaluate).
+//
+// The headline deliverable is the coverage-target correction: faults that
+// are Detected full-scan but functionally untestable inflate an on-line
+// self-test's coverage target, and the corrected target excludes them.
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"olfui/internal/atpg"
+	"olfui/internal/constraint"
+	"olfui/internal/fault"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// Scenario is one named mission-mode model: a constraint stack applied to a
+// fresh clone plus the observation points available in that configuration.
+type Scenario struct {
+	Name       string
+	Transforms []constraint.Transform
+	// Observe selects the scenario's observation points on the transformed
+	// clone; nil means full-scan observation (constraint.ObserveFullScan).
+	Observe constraint.ObsFn
+}
+
+// Classification is the flow's per-fault verdict over all scenarios.
+type Classification uint8
+
+// Per-fault classifications.
+const (
+	Unresolved Classification = iota
+	FullScanTestable
+	FuncUntestable
+)
+
+// String implements fmt.Stringer.
+func (c Classification) String() string {
+	switch c {
+	case Unresolved:
+		return "unresolved"
+	case FullScanTestable:
+		return "full-scan-testable"
+	case FuncUntestable:
+		return "func-untestable"
+	}
+	return fmt.Sprintf("Classification(%d)", uint8(c))
+}
+
+// EvidenceFullScan marks faults proven untestable by the unconstrained
+// baseline run (structural redundancy): every scenario inherits the proof.
+const EvidenceFullScan = -1
+
+// evidenceNone marks faults with no untestability proof.
+const evidenceNone = -2
+
+// ScenarioResult carries everything proven on one constrained clone.
+type ScenarioResult struct {
+	Scenario Scenario
+	// Clone is the transformed netlist the verdicts were proven on.
+	Clone *netlist.Netlist
+	// Universe is the fault universe enumerated on the clone (dead and
+	// synthetic gates contribute no sites, so its dense numbering differs
+	// from the original's; fault.Project bridges the two).
+	Universe *fault.Universe
+	// Obs is the scenario's observation-point set on the clone.
+	Obs []sim.ObsPoint
+	// Outcome is the ATPG result against Universe.
+	Outcome *atpg.Outcome
+	// Projected is Outcome.Status translated onto the original universe.
+	Projected *fault.StatusMap
+}
+
+// Report is the flow's deliverable.
+type Report struct {
+	N        *netlist.Netlist
+	Universe *fault.Universe
+	// Baseline is the unconstrained full-scan ATPG outcome.
+	Baseline *atpg.Outcome
+	// Scenarios holds per-scenario results in input order.
+	Scenarios []*ScenarioResult
+	// Class[fid] classifies every fault of the original universe.
+	Class []Classification
+	// evidence[fid] is the index into Scenarios of the proving scenario,
+	// EvidenceFullScan, or evidenceNone.
+	evidence []int32
+}
+
+// Options configures a flow run.
+type Options struct {
+	// ATPG configures the per-scenario engines. ObsPoints must be left
+	// nil: scenarios carry their own observation selection.
+	ATPG atpg.Options
+	// SerialScenarios disables cross-scenario parallelism (useful for
+	// deterministic profiling); by default scenarios run concurrently and
+	// the ATPG worker budget is divided between them.
+	SerialScenarios bool
+}
+
+// Run executes the identification pipeline. The universe must be enumerated
+// on n. Scenario names must be unique and non-empty.
+func Run(n *netlist.Netlist, u *fault.Universe, scenarios []Scenario, opts Options) (*Report, error) {
+	if opts.ATPG.ObsPoints != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.ObsPoints must be nil; scenarios select observation")
+	}
+	seen := map[string]bool{}
+	for _, sc := range scenarios {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("flow: scenario with empty name")
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("flow: duplicate scenario %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+
+	// Full-scan baseline on the original netlist: the reference both for
+	// FullScanTestable and for the "detected full-scan yet functionally
+	// untestable" faults the coverage correction is about.
+	baseline, err := atpg.GenerateAll(n, u, opts.ATPG)
+	if err != nil {
+		return nil, fmt.Errorf("flow: baseline ATPG: %w", err)
+	}
+	r := &Report{
+		N:        n,
+		Universe: u,
+		Baseline: baseline,
+		Class:    make([]Classification, u.NumFaults()),
+		evidence: make([]int32, u.NumFaults()),
+	}
+
+	// Divide the worker budget across concurrently running scenarios.
+	scOpts := opts.ATPG
+	if !opts.SerialScenarios && len(scenarios) > 1 {
+		total := scOpts.Workers
+		if total <= 0 {
+			total = runtime.NumCPU()
+		}
+		if w := total / len(scenarios); w >= 1 {
+			scOpts.Workers = w
+		} else {
+			scOpts.Workers = 1
+		}
+	}
+
+	r.Scenarios = make([]*ScenarioResult, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	for i, sc := range scenarios {
+		run := func(i int, sc Scenario) {
+			r.Scenarios[i], errs[i] = runScenario(n, u, sc, scOpts)
+		}
+		if opts.SerialScenarios {
+			run(i, sc)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sc Scenario) {
+			defer wg.Done()
+			run(i, sc)
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("flow: scenario %q: %w", scenarios[i].Name, err)
+		}
+	}
+
+	r.classify()
+	return r, nil
+}
+
+// runScenario proves verdicts on one constrained clone and projects them
+// back onto the original universe.
+func runScenario(n *netlist.Netlist, u *fault.Universe, sc Scenario, opts atpg.Options) (*ScenarioResult, error) {
+	clone := n.Clone()
+	if err := constraint.Apply(clone, sc.Transforms...); err != nil {
+		return nil, err
+	}
+	cu := fault.NewUniverse(clone)
+	obsFn := sc.Observe
+	if obsFn == nil {
+		obsFn = constraint.ObserveFullScan
+	}
+	obs := obsFn(clone)
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("observation selection returned no points")
+	}
+	opts.ObsPoints = obs
+	out, err := atpg.GenerateAll(clone, cu, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Scenario:  sc,
+		Clone:     clone,
+		Universe:  cu,
+		Obs:       obs,
+		Outcome:   out,
+		Projected: fault.Project(cu, out.Status, u),
+	}, nil
+}
+
+// classify folds the baseline and every projected scenario map into the
+// per-fault classification.
+func (r *Report) classify() {
+	for id := range r.Class {
+		fid := fault.FID(id)
+		ev := int32(evidenceNone)
+		if r.Baseline.Status.Get(fid) == fault.Untestable {
+			// Untestable with full controllability and observability is
+			// untestable under every restriction of them.
+			ev = EvidenceFullScan
+		} else {
+			for si, sr := range r.Scenarios {
+				if sr.Projected.Get(fid) == fault.Untestable {
+					ev = int32(si)
+					break
+				}
+			}
+		}
+		r.evidence[id] = ev
+		switch {
+		case ev != evidenceNone:
+			r.Class[id] = FuncUntestable
+		case r.Baseline.Status.Get(fid) == fault.Detected:
+			r.Class[id] = FullScanTestable
+		default:
+			r.Class[id] = Unresolved
+		}
+	}
+}
+
+// Evidence returns the scenario index proving fid functionally untestable
+// (EvidenceFullScan for baseline proofs). ok is false when fid is not
+// classified FuncUntestable.
+func (r *Report) Evidence(fid fault.FID) (int, bool) {
+	ev := r.evidence[fid]
+	if ev == evidenceNone {
+		return 0, false
+	}
+	return int(ev), true
+}
+
+// EvidenceName renders the proving scenario of fid, or "".
+func (r *Report) EvidenceName(fid fault.FID) string {
+	ev, ok := r.Evidence(fid)
+	if !ok {
+		return ""
+	}
+	if ev == EvidenceFullScan {
+		return "full-scan"
+	}
+	return r.Scenarios[ev].Scenario.Name
+}
+
+// FaultsClassified returns the fault IDs holding class c, ascending.
+func (r *Report) FaultsClassified(c Classification) []fault.FID {
+	var out []fault.FID
+	for id, cl := range r.Class {
+		if cl == c {
+			out = append(out, fault.FID(id))
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"olfui/internal/fault"
+)
+
+// Summary condenses a Report into the numbers the paper's flow delivers.
+type Summary struct {
+	Faults           int // original (uncollapsed) universe size
+	FullScanDetected int // faults the full-scan baseline detects
+	FuncUntestable   int // faults proven functionally untestable
+	// OverCounted is the intersection: detected by full-scan ATPG yet
+	// functionally untestable. These are the faults an on-line self-test
+	// is wrongly graded against.
+	OverCounted int
+	Unresolved  int
+}
+
+// Summarize computes the Summary of a report.
+func (r *Report) Summarize() Summary {
+	s := Summary{Faults: r.Universe.NumFaults()}
+	for id, cl := range r.Class {
+		fid := fault.FID(id)
+		det := r.Baseline.Status.Get(fid) == fault.Detected
+		if det {
+			s.FullScanDetected++
+		}
+		switch cl {
+		case FuncUntestable:
+			s.FuncUntestable++
+			if det {
+				s.OverCounted++
+			}
+		case Unresolved:
+			s.Unresolved++
+		}
+	}
+	return s
+}
+
+// FullScanCoverage is the classic fault coverage: detected / all faults.
+func (s Summary) FullScanCoverage() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return float64(s.FullScanDetected) / float64(s.Faults)
+}
+
+// CorrectedTarget is the paper's corrected on-line coverage target
+// denominator: the universe minus the functionally untestable faults.
+func (s Summary) CorrectedTarget() int { return s.Faults - s.FuncUntestable }
+
+// CorrectedCoverage re-grades the full-scan detections against the corrected
+// target: functionally untestable faults count neither as detected nor as
+// targets. This is the achievable ceiling for an on-line functional test.
+func (s Summary) CorrectedCoverage() float64 {
+	target := s.CorrectedTarget()
+	if target == 0 {
+		return 0
+	}
+	return float64(s.FullScanDetected-s.OverCounted) / float64(target)
+}
+
+// String renders the full report: per-scenario ATPG stats, the
+// classification tally, and the coverage-target correction.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow report for %q: %d faults\n", r.N.Name, r.Universe.NumFaults())
+	fmt.Fprintf(&b, "  baseline (full-scan): %v\n", r.Baseline.Stats)
+	for _, sr := range r.Scenarios {
+		var ts []string
+		for _, t := range sr.Scenario.Transforms {
+			ts = append(ts, t.Describe())
+		}
+		fmt.Fprintf(&b, "  scenario %q [%s] obs=%d: %v\n",
+			sr.Scenario.Name, strings.Join(ts, " "), len(sr.Obs), sr.Outcome.Stats)
+	}
+	s := r.Summarize()
+	fmt.Fprintf(&b, "  classification: %d full-scan-testable, %d func-untestable (%d of them detected full-scan), %d unresolved\n",
+		s.Faults-s.FuncUntestable-s.Unresolved, s.FuncUntestable, s.OverCounted, s.Unresolved)
+	fmt.Fprintf(&b, "  full-scan coverage:        %d/%d = %.2f%%\n",
+		s.FullScanDetected, s.Faults, 100*s.FullScanCoverage())
+	fmt.Fprintf(&b, "  corrected on-line target:  %d faults (%d excluded)\n",
+		s.CorrectedTarget(), s.FuncUntestable)
+	fmt.Fprintf(&b, "  corrected coverage:        %d/%d = %.2f%%\n",
+		s.FullScanDetected-s.OverCounted, s.CorrectedTarget(), 100*s.CorrectedCoverage())
+	return b.String()
+}

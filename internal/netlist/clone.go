@@ -72,9 +72,41 @@ func (n *Netlist) AddSyntheticTie(name string, one bool) NetID {
 	if one {
 		k = KTie1
 	}
-	id := n.AddGate(k, name)
+	return n.Gates[n.AddSyntheticGate(k, name)].Out
+}
+
+// AddSyntheticGate is AddGate with the FSynthetic flag set: the gate models
+// the mission environment (constraint logic, time-frame copies) and
+// contributes no faults.
+func (n *Netlist) AddSyntheticGate(kind Kind, name string, ins ...NetID) GateID {
+	id := n.AddGate(kind, name, ins...)
 	n.Gates[id].Flags |= FSynthetic
-	return n.Gates[id].Out
+	return id
+}
+
+// AddSyntheticInput adds a synthetic primary input and returns its net. Time
+// expansion uses these for the input ports of earlier time frames.
+func (n *Netlist) AddSyntheticInput(name string) NetID {
+	return n.Gates[n.AddSyntheticGate(KInput, name)].Out
+}
+
+// MarkSynthetic flags existing gates FSynthetic.
+func (n *Netlist) MarkSynthetic(ids ...GateID) {
+	for _, id := range ids {
+		n.Gates[id].Flags |= FSynthetic
+	}
+}
+
+// RewireFanout moves every fanout pin of net from onto net to and returns the
+// number of pins moved. This is the primitive behind input constraints: tying
+// a pin to a constant means rewiring the original net's readers to a
+// synthetic tie while the original driver keeps its (now unread) net.
+func (n *Netlist) RewireFanout(from, to NetID) int {
+	pins := append([]Pin(nil), n.Nets[from].Fanout...)
+	for _, p := range pins {
+		n.RewirePin(p, to)
+	}
+	return len(pins)
 }
 
 func (n *Netlist) removeFanout(net NetID, p Pin) {

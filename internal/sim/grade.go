@@ -23,6 +23,15 @@ type Grader struct {
 // NewGrader builds a grader for the netlist. Detection points are the
 // full-scan observation points (primary outputs and flip-flop D pins).
 func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
+	return NewGraderObs(n, u, nil)
+}
+
+// NewGraderObs builds a grader detecting only at the given observation
+// points; nil means the full-scan set (CombObsPoints). Restricted graders are
+// what keeps fault dropping sound when ATPG itself runs with restricted
+// observability: a pattern may only drop a fault if the difference shows at a
+// point the scenario actually observes.
+func NewGraderObs(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint) (*Grader, error) {
 	good, err := New(n)
 	if err != nil {
 		return nil, err
@@ -31,6 +40,9 @@ func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
 	if err != nil {
 		return nil, err
 	}
+	if obs == nil {
+		obs = CombObsPoints(n)
+	}
 	return &Grader{
 		n:    n,
 		u:    u,
@@ -38,7 +50,7 @@ func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
 		bad:  bad,
 		pis:  n.PrimaryInputs(),
 		ffs:  n.FlipFlops(),
-		obs:  CombObsPoints(n),
+		obs:  obs,
 	}, nil
 }
 

@@ -273,6 +273,87 @@ func TestGradeCombWithStatePatterns(t *testing.T) {
 	}
 }
 
+// obsSplitCircuit has two cones from the same inputs: one observable only at
+// a flip-flop D pin (the register is never read), one at a primary output.
+func obsSplitCircuit(t *testing.T) (*netlist.Netlist, *fault.Universe, fault.FID, fault.FID) {
+	t.Helper()
+	n := netlist.New("obssplit")
+	a, b := n.Input("a"), n.Input("b")
+	hidden := n.And("hidden", a, b)
+	n.DFF("q", hidden) // q unread: the AND cone ends at the D pin
+	vis := n.Or("vis", a, b)
+	n.OutputPort("po", vis)
+	u := fault.NewUniverse(n)
+	hg := mustGate(t, n, "hidden")
+	vg := mustGate(t, n, "vis")
+	hf := u.IDOf(fault.Fault{Site: fault.Site{Gate: hg, Pin: fault.OutputPin}, SA: logic.Zero})
+	vf := u.IDOf(fault.Fault{Site: fault.Site{Gate: vg, Pin: fault.OutputPin}, SA: logic.Zero})
+	return n, u, hf, vf
+}
+
+func exhaustive2() []Pattern {
+	var ps []Pattern
+	for v := 0; v < 4; v++ {
+		ps = append(ps, Pattern{logic.FromBit(uint64(v)), logic.FromBit(uint64(v >> 1))})
+	}
+	return ps
+}
+
+func TestGraderObsRestriction(t *testing.T) {
+	n, u, hf, vf := obsSplitCircuit(t)
+	patterns := exhaustive2()
+	faults := []fault.FID{hf, vf}
+
+	// Full-scan grader (D pins observed): both cones detectable.
+	full, err := NewGrader(n, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := full.Grade(patterns, nil, faults)
+	if !det.Has(hf) || !det.Has(vf) {
+		t.Errorf("full-scan grader: hidden=%v vis=%v, want both detected", det.Has(hf), det.Has(vf))
+	}
+
+	// Output-only grader: the register-bound cone becomes invisible. This
+	// is the fault that is detectable full-scan but not under output-only
+	// observation.
+	ol, err := NewGraderObs(n, u, OutputObsPoints(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = ol.Grade(patterns, nil, faults)
+	if det.Has(hf) {
+		t.Error("output-only grader detected the register-bound fault")
+	}
+	if !det.Has(vf) {
+		t.Error("output-only grader missed the output-cone fault")
+	}
+
+	// An explicit single-point subset: only the flip-flop D pin.
+	qg := mustGate(t, n, "q")
+	dOnly, err := NewGraderObs(n, u, []ObsPoint{{Gate: qg, Pin: netlist.DffD}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det = dOnly.Grade(patterns, nil, faults)
+	if !det.Has(hf) || det.Has(vf) {
+		t.Errorf("D-pin-only grader: hidden=%v vis=%v, want true/false", det.Has(hf), det.Has(vf))
+	}
+}
+
+func TestGradeCombUsesFullScanObs(t *testing.T) {
+	// GradeComb's documented contract is full-scan observation; the
+	// register-bound cone must therefore count as detected.
+	n, u, hf, _ := obsSplitCircuit(t)
+	det, err := GradeComb(n, u, exhaustive2(), nil, []fault.FID{hf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Has(hf) {
+		t.Error("GradeComb must observe flip-flop D pins")
+	}
+}
+
 func TestGradeSeqToggleCircuit(t *testing.T) {
 	// Counter bit with observable output; check a stuck FF is caught.
 	n := netlist.New("gs")

@@ -1,0 +1,179 @@
+// Package testutil provides the independent verification machinery the test
+// suite uses to keep the identification pipeline honest: an exhaustive
+// brute-force detectability oracle for small (possibly constrained) circuits,
+// and a seeded random netlist generator for property tests.
+//
+// The oracle shares no code path with the ATPG engine: it enumerates every
+// binary assignment of the controllable inputs with the plain event-free
+// simulator and compares good against faulty machine at the observation
+// points. Ternary simulation is monotone (refining X never changes a known
+// value), so a fault detectable by any ternary pattern is detectable by one
+// of the enumerated binary patterns — binary exhaustion is a complete
+// detectability decision, which makes every Untestable verdict independently
+// checkable.
+package testutil
+
+import (
+	"fmt"
+	"math/bits"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// MaxExhaustiveInputs bounds the controllable-input count the oracle accepts:
+// 2^22 patterns (64 per simulation pass) is a few seconds, which is as far
+// as a unit test should go.
+const MaxExhaustiveInputs = 22
+
+// laneMasks[j] packs bit j of the lane index across 64 lanes, so one PV word
+// enumerates 64 consecutive assignments of the low six inputs.
+var laneMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Controllables returns the free input nets of a (possibly constrained)
+// netlist in deterministic order: live primary-input nets followed by live
+// flip-flop output nets (the full-scan pseudo-inputs). Nets with no readers
+// are skipped — they cannot influence any observation point, and constraint
+// transforms produce them on purpose when they tie a pin.
+func Controllables(n *netlist.Netlist) []netlist.NetID {
+	var out []netlist.NetID
+	add := func(g netlist.GateID) {
+		net := n.Gate(g).Out
+		if len(n.Net(net).Fanout) > 0 {
+			out = append(out, net)
+		}
+	}
+	for _, g := range n.PrimaryInputs() {
+		add(g)
+	}
+	for _, g := range n.FlipFlops() {
+		add(g)
+	}
+	return out
+}
+
+// Oracle is a reusable exhaustive detectability checker for one netlist and
+// one observation-point set.
+type Oracle struct {
+	n    *netlist.Netlist
+	ctl  []netlist.NetID
+	obs  []sim.ObsPoint
+	good *sim.Simulator
+	bad  *sim.Simulator
+}
+
+// NewOracle builds an oracle. obs nil means full-scan observation.
+func NewOracle(n *netlist.Netlist, obs []sim.ObsPoint) (*Oracle, error) {
+	ctl := Controllables(n)
+	if len(ctl) > MaxExhaustiveInputs {
+		return nil, fmt.Errorf("testutil: %d controllable inputs exceed the exhaustive limit %d",
+			len(ctl), MaxExhaustiveInputs)
+	}
+	if obs == nil {
+		obs = sim.CombObsPoints(n)
+	}
+	good, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{n: n, ctl: ctl, obs: obs, good: good, bad: bad}, nil
+}
+
+// Detectable reports whether any assignment of the controllable inputs makes
+// the faulty machine differ from the good machine at an observation point,
+// and returns a witness assignment (indexed like Controllables) when so.
+func (o *Oracle) Detectable(f fault.Fault) (bool, []logic.V) {
+	o.bad.ClearInjections()
+	o.bad.AddInjection(sim.Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+	total := uint64(1) << uint(len(o.ctl))
+	for base := uint64(0); base < total; base += logic.WordBits {
+		for j, net := range o.ctl {
+			var pv logic.PV
+			if j < len(laneMasks) {
+				pv = logic.PVFromBits(laneMasks[j])
+			} else {
+				pv = logic.PVSplat(logic.FromBit(base >> uint(j)))
+			}
+			o.good.SetInput(net, pv)
+			o.bad.SetInput(net, pv)
+		}
+		o.good.EvalComb()
+		o.bad.EvalComb()
+		for _, p := range o.obs {
+			if diff := o.good.ObsVal(p).Diff(o.bad.ObsVal(p)); diff != 0 {
+				idx := base + uint64(bits.TrailingZeros64(diff))
+				witness := make([]logic.V, len(o.ctl))
+				for j := range o.ctl {
+					witness[j] = logic.FromBit(idx >> uint(j))
+				}
+				return true, witness
+			}
+		}
+	}
+	return false, nil
+}
+
+// VerifyUntestable exhaustively checks every fault the status map marks
+// Untestable against the universe's netlist at the given observation points
+// (nil = full-scan) and returns an error naming the first refuted verdict.
+// The universe must be enumerated on the netlist the verdicts were proven on
+// (for scenario results, the constrained clone and its clone universe).
+func VerifyUntestable(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint) error {
+	return verifyStatus(u, status, obs, fault.Untestable, false)
+}
+
+// VerifyDetected cross-checks Detected verdicts: every fault the map marks
+// Detected must be detectable by exhaustive simulation too (the dual
+// direction, catching over-eager detection bookkeeping).
+func VerifyDetected(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint) error {
+	return verifyStatus(u, status, obs, fault.Detected, true)
+}
+
+// verifyStatus brute-forces every fault holding the given status and errors
+// unless its exhaustive detectability matches wantDetectable.
+func verifyStatus(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint,
+	st fault.Status, wantDetectable bool) error {
+
+	o, err := NewOracle(u.N, obs)
+	if err != nil {
+		return err
+	}
+	for id := 0; id < u.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if status.Get(fid) != st {
+			continue
+		}
+		f := u.FaultOf(fid)
+		det, witness := o.Detectable(f)
+		if det == wantDetectable {
+			continue
+		}
+		if det {
+			return fmt.Errorf("testutil: fault %s marked %v but detected by assignment %v of %v",
+				u.Describe(f), st, witness, controllableNames(u.N, o.ctl))
+		}
+		return fmt.Errorf("testutil: fault %s marked %v but no assignment detects it", u.Describe(f), st)
+	}
+	return nil
+}
+
+func controllableNames(n *netlist.Netlist, nets []netlist.NetID) []string {
+	names := make([]string, len(nets))
+	for i, net := range nets {
+		names[i] = n.Net(net).Name
+	}
+	return names
+}

@@ -1,0 +1,70 @@
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"olfui/internal/netlist"
+)
+
+// RandOpts sizes a random netlist.
+type RandOpts struct {
+	Inputs  int // primary inputs
+	Gates   int // combinational gates
+	FFs     int // flip-flops (0 for purely combinational)
+	Outputs int // primary outputs
+}
+
+// RandomNetlist builds a deterministic pseudo-random netlist from a seed:
+// combinational gates drawing operands from earlier nets (inputs, flip-flop
+// outputs, prior gate outputs), flip-flops closed over random data nets, and
+// primary outputs reading random nets biased toward the deepest logic. The
+// same seed always yields the same circuit, so failures reproduce. The result
+// always validates and levelizes.
+func RandomNetlist(seed int64, o RandOpts) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := netlist.New(fmt.Sprintf("rand%d", seed))
+
+	var pool []netlist.NetID
+	for i := 0; i < o.Inputs; i++ {
+		pool = append(pool, n.Input(fmt.Sprintf("i%d", i)))
+	}
+	// Flip-flop output nets exist up front so logic can read state; the
+	// flip-flops themselves close the loop at the end (AddGateOut).
+	ffQ := make([]netlist.NetID, o.FFs)
+	for i := range ffQ {
+		ffQ[i] = n.NewNet(fmt.Sprintf("q%d", i))
+		pool = append(pool, ffQ[i])
+	}
+
+	pick := func() netlist.NetID { return pool[rng.Intn(len(pool))] }
+	kinds := []netlist.Kind{
+		netlist.KAnd, netlist.KNand, netlist.KOr, netlist.KNor,
+		netlist.KXor, netlist.KXnor, netlist.KNot, netlist.KBuf, netlist.KMux2,
+	}
+	for i := 0; i < o.Gates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		name := fmt.Sprintf("g%d", i)
+		var out netlist.NetID
+		switch k {
+		case netlist.KNot, netlist.KBuf:
+			out = n.Gates[n.AddGate(k, name, pick())].Out
+		case netlist.KMux2:
+			out = n.Gates[n.AddGate(k, name, pick(), pick(), pick())].Out
+		default:
+			out = n.Gates[n.AddGate(k, name, pick(), pick())].Out
+		}
+		pool = append(pool, out)
+	}
+
+	for i, q := range ffQ {
+		n.AddGateOut(netlist.KDFF, fmt.Sprintf("ff%d", i), q, pick())
+	}
+	for i := 0; i < o.Outputs; i++ {
+		// Bias outputs toward late (deep) nets so most logic is observable.
+		lo := len(pool) / 2
+		net := pool[lo+rng.Intn(len(pool)-lo)]
+		n.OutputPort(fmt.Sprintf("o%d", i), net)
+	}
+	return n
+}
