@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func run(workers, limit, width int) error {
 	fmt.Println(n.CollectStats())
 	u := fault.NewUniverse(n)
 
-	out, err := atpg.GenerateAll(n, u, atpg.Options{Workers: workers, BacktrackLimit: limit})
+	out, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{Workers: workers, BacktrackLimit: limit})
 	if err != nil {
 		return fmt.Errorf("GenerateAll: %w", err)
 	}

@@ -2,12 +2,15 @@
 // dp-built benchmark circuit: a small ALU datapath with a scan chain, a
 // one-hot-decoded operation field, and a write-only trace register — the
 // structures whose faults full-scan ATPG counts as testable although no
-// mission-mode stimulus can expose them. It prints per-scenario ATPG stats,
-// the fault classification, and the coverage-target correction, and exits
-// non-zero if any internal cross-check fails.
+// mission-mode stimulus can expose them. It drives the campaign API —
+// optionally sharding the full-scan baseline (-shards) and grading imported
+// mission stimuli (-patterns) — prints per-scenario ATPG stats, the fault
+// classification, and the coverage-target correction, and exits non-zero if
+// any internal cross-check fails.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,23 +26,39 @@ import (
 	"olfui/internal/testutil"
 )
 
+// config collects the command-line knobs.
+type config struct {
+	width     int
+	workers   int
+	limit     int
+	frames    int
+	shards    int
+	patterns  string // stimulus file for the pattern-import provider
+	progress  bool
+	selfcheck bool
+}
+
 func main() {
-	width := flag.Int("width", 8, "datapath width")
-	workers := flag.Int("workers", 0, "ATPG workers per scenario (0 = NumCPU/scenarios)")
-	limit := flag.Int("limit", 0, "backtrack limit (0 = default)")
-	frames := flag.Int("frames", 2, "time frames for the reach-constrained scenario")
-	selfcheck := flag.Bool("selfcheck", false,
+	var cfg config
+	flag.IntVar(&cfg.width, "width", 8, "datapath width")
+	flag.IntVar(&cfg.workers, "workers", 0, "total ATPG worker budget across providers (0 = NumCPU)")
+	flag.IntVar(&cfg.limit, "limit", 0, "backtrack limit (0 = default)")
+	flag.IntVar(&cfg.frames, "frames", 2, "time frames for the reach-constrained scenario")
+	flag.IntVar(&cfg.shards, "shards", 1, "full-scan baseline shards (streamed and merged)")
+	flag.StringVar(&cfg.patterns, "patterns", "", "mission stimulus file to grade (see cmd/olfui/patterns.go for the format)")
+	flag.BoolVar(&cfg.progress, "progress", false, "print per-provider delta merges and completions")
+	flag.BoolVar(&cfg.selfcheck, "selfcheck", false,
 		"exhaustively verify sampled untestability verdicts (small widths only)")
 	flag.Parse()
 
-	if err := run(*width, *workers, *limit, *frames, *selfcheck); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "olfui:", err)
 		os.Exit(1)
 	}
 }
 
-func run(width, workers, limit, frames int, selfcheck bool) error {
-	n := buildBench(width)
+func run(ctx context.Context, cfg config) error {
+	n := buildBench(cfg.width)
 	if err := n.Validate(); err != nil {
 		return err
 	}
@@ -62,14 +81,33 @@ func run(width, workers, limit, frames int, selfcheck bool) error {
 		{
 			Name: "mission-reach",
 			Transforms: append(append([]constraint.Transform{}, missionTies...),
-				oneHot, constraint.Unroll{Frames: frames}),
+				oneHot, constraint.Unroll{Frames: cfg.frames}),
 			Observe: constraint.ObserveOutputsAndCaptures,
 		},
 	}
 
-	r, err := flow.Run(n, u, scenarios, flow.Options{
-		ATPG: atpg.Options{Workers: workers, BacktrackLimit: limit},
-	})
+	opts := flow.Options{
+		ATPG:   atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit},
+		Shards: cfg.shards,
+	}
+	if cfg.patterns != "" {
+		sets, err := loadPatternSets(n, cfg.patterns)
+		if err != nil {
+			return err
+		}
+		opts.Patterns = sets
+	}
+	if cfg.progress {
+		opts.Progress = func(e flow.Event) {
+			if e.Done {
+				fmt.Printf("  provider %-24s done (%d deltas, err=%v)\n", e.Provider, e.Seq, e.Err)
+			} else {
+				fmt.Printf("  provider %-24s delta #%d: %d entries [%v]\n", e.Provider, e.Seq, e.Faults, e.Channel)
+			}
+		}
+	}
+
+	r, err := flow.RunCampaign(ctx, n, u, scenarios, opts)
 	if err != nil {
 		return err
 	}
@@ -79,7 +117,7 @@ func run(width, workers, limit, frames int, selfcheck bool) error {
 	if err := crossCheck(r, u); err != nil {
 		return err
 	}
-	if selfcheck {
+	if cfg.selfcheck {
 		if err := oracleSample(r); err != nil {
 			return err
 		}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"olfui/internal/atpg"
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+)
+
+// BenchmarkGenerateAllBench measures the fleet driver on the olfui benchmark
+// circuit — the workload the incrementally pruned live-class list (vs
+// rescanning every class per pattern) is aimed at.
+func BenchmarkGenerateAllBench(b *testing.B) {
+	n := buildBench(8)
+	u := fault.NewUniverse(n)
+	b.ReportMetric(float64(u.NumFaults()), "faults")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Stats.Aborted != 0 {
+			b.Fatalf("%d aborted", out.Stats.Aborted)
+		}
+	}
+}
+
+// BenchmarkCampaignBench measures the full sharded campaign — baseline
+// shards plus the three scenarios streaming into one merge.
+func BenchmarkCampaignBench(b *testing.B) {
+	cfg := config{width: 4, shards: 4, frames: 2}
+	for i := 0; i < b.N; i++ {
+		if err := runQuiet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runQuiet runs the flow with stdout silenced (benchmarks should not spam).
+func runQuiet(cfg config) error {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	return run(context.Background(), cfg)
+}
+
+func writeStim(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mission.stim")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadPatternSets(t *testing.T) {
+	n := buildBench(2) // 13 primary inputs
+	path := writeStim(t, `
+# inputs: a0 a1 b0 b1 cin op0 op1 op2 op3 scan_en scan_in debug_en rstn
+seq add
+1010110000001
+011101000000X  # trailing comment
+seq xor
+1001000100001
+`)
+	sets, err := loadPatternSets(n, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || sets[0].Name != "add" || sets[1].Name != "xor" {
+		t.Fatalf("sets = %+v", sets)
+	}
+	if len(sets[0].Stim.Cycles) != 2 || len(sets[1].Stim.Cycles) != 1 {
+		t.Fatalf("cycle counts wrong: %d %d", len(sets[0].Stim.Cycles), len(sets[1].Stim.Cycles))
+	}
+	if got := sets[0].Stim.Cycles[1][12]; got != logic.X {
+		t.Fatalf("X symbol parsed as %v", got)
+	}
+	if got := sets[0].Stim.Cycles[0][0]; got != logic.One {
+		t.Fatalf("first symbol parsed as %v", got)
+	}
+	if len(sets[0].Stim.Inputs) != 13 {
+		t.Fatalf("%d stimulus inputs, want 13", len(sets[0].Stim.Inputs))
+	}
+
+	for name, bad := range map[string]string{
+		"row before seq": "1010110000001\n",
+		"short row":      "seq s\n101\n",
+		"bad symbol":     "seq s\n2010110000001\n",
+		"empty seq":      "seq s\n",
+		"duplicate seq":  "seq s\n1010110000001\nseq s\n1010110000001\n",
+		"nameless seq":   "seq \n1010110000001\n",
+		"no sequences":   "# nothing\n",
+	} {
+		if _, err := loadPatternSets(n, writeStim(t, bad)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestRunShardedWithPatterns drives the binary's whole path — sharded
+// baseline, three scenarios, pattern import, cross-checks — end to end.
+func TestRunShardedWithPatterns(t *testing.T) {
+	path := writeStim(t, `
+seq add-sweep
+1010110000001
+0111010000001
+1111110000001
+seq xor-walk
+1001000100001
+0110000100001
+`)
+	cfg := config{width: 2, shards: 3, frames: 2, patterns: path, selfcheck: true}
+	if err := runQuiet(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,7 @@ package atpg
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"olfui/internal/fault"
 	"olfui/internal/logic"
@@ -77,6 +78,26 @@ type Options struct {
 	// verdicts are then proofs relative to this set, and GenerateAll's
 	// fault dropping grades at the same points so the two never disagree.
 	ObsPoints []sim.ObsPoint
+	// Classes restricts GenerateAll to the given collapsed-class
+	// representatives — one shard of a fault.PlanShards plan. Nil targets
+	// every class of the universe. Every entry must be a representative of
+	// the universe's structural collapse (PlanShards guarantees this);
+	// verdicts still spread to all members of the targeted classes.
+	Classes []fault.FID
+	// Annotations optionally supplies precomputed testability annotations
+	// for the netlist (Netlist.Annotate). They are read-only during
+	// generation, so one Annotate pass can be shared across the engines of
+	// a run and across concurrent GenerateAll runs on the same netlist —
+	// e.g. the shards of a fault.PlanShards plan. Nil computes them
+	// internally.
+	Annotations *netlist.Annotations
+	// Progress, when non-nil, receives every class verdict GenerateAll
+	// commits — deterministic results, fault-simulation drops, and
+	// Aborted-to-Detected upgrades (re-announced as Detected) — in commit
+	// order from the coordinator goroutine. Providers use it to stream
+	// evidence deltas while generation is still running; it must not block
+	// for long and must not call back into the engine.
+	Progress func(fid fault.FID, v Verdict)
 }
 
 // DefaultBacktrackLimit is the per-fault decision-flip budget when
@@ -111,6 +132,11 @@ type Engine struct {
 	n    *netlist.Netlist
 	ann  *netlist.Annotations
 	opts Options
+	// cancel, when non-nil, aborts in-flight searches: Generate polls it
+	// once per decision step and returns Aborted as soon as it is set.
+	// GenerateAll shares one flag across its worker fleet so a cancelled
+	// context interrupts even a search deep inside the backtrack budget.
+	cancel *atomic.Bool
 
 	// assignable lists the controllable input nets: primary inputs in
 	// PrimaryInputs order, then flip-flop outputs in FlipFlops order.

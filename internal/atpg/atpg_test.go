@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"testing"
 
 	"olfui/internal/dp"
@@ -231,7 +232,7 @@ func TestGenerateAllDatapath(t *testing.T) {
 		t.Fatalf("datapath has %d collapsed classes, want a few hundred", c)
 	}
 
-	out, err := GenerateAll(n, u, Options{BacktrackLimit: 1 << 20})
+	out, err := GenerateAll(context.Background(), n, u, Options{BacktrackLimit: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestGenerateAllSingleWorkerDeterministic(t *testing.T) {
 	n, _ := datapathNetlist()
 	u := fault.NewUniverse(n)
 	run := func() *Outcome {
-		out, err := GenerateAll(n, u, Options{Workers: 1, BacktrackLimit: 1 << 20})
+		out, err := GenerateAll(context.Background(), n, u, Options{Workers: 1, BacktrackLimit: 1 << 20})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,11 +318,11 @@ func TestRestrictedObservables(t *testing.T) {
 	hg, _ := n.GateByName("hidden")
 	vg, _ := n.GateByName("vis")
 
-	full, err := GenerateAll(n, u, Options{})
+	full, err := GenerateAll(context.Background(), n, u, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ol, err := GenerateAll(n, u, Options{ObsPoints: sim.OutputObsPoints(n)})
+	ol, err := GenerateAll(context.Background(), n, u, Options{ObsPoints: sim.OutputObsPoints(n)})
 	if err != nil {
 		t.Fatal(err)
 	}

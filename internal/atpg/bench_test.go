@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"testing"
 
 	"olfui/internal/dp"
@@ -58,7 +59,7 @@ func BenchmarkGenerateAll(b *testing.B) {
 	b.ReportMetric(float64(u.NumFaults()), "faults")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := GenerateAll(n, u, Options{})
+		out, err := GenerateAll(context.Background(), n, u, Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkGenerateAllSerial(b *testing.B) {
 	u := fault.NewUniverse(n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateAll(n, u, Options{Workers: 1}); err != nil {
+		if _, err := GenerateAll(context.Background(), n, u, Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,8 +1,10 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"olfui/internal/fault"
@@ -35,11 +37,29 @@ func (s Stats) String() string {
 		s.Patterns, s.Backtracks, s.Elapsed.Round(time.Microsecond))
 }
 
+// Add accumulates another run's tallies — merging shard outcomes of one
+// partitioned universe. Elapsed takes the maximum, approximating the wall
+// time of shards that ran concurrently.
+func (s *Stats) Add(t Stats) {
+	s.Faults = t.Faults // shards share one universe
+	s.Classes += t.Classes
+	s.Detected += t.Detected
+	s.Untestable += t.Untestable
+	s.Aborted += t.Aborted
+	s.SimDropped += t.SimDropped
+	s.Patterns += t.Patterns
+	s.Backtracks += t.Backtracks
+	if t.Elapsed > s.Elapsed {
+		s.Elapsed = t.Elapsed
+	}
+}
+
 // Outcome is the full result of a GenerateAll run.
 type Outcome struct {
 	Stats Stats
 	// Status classifies every fault of the universe: verdicts proven on
-	// class representatives are spread to all class members.
+	// class representatives are spread to all class members. With
+	// Options.Classes set, faults of untargeted classes stay Undetected.
 	Status *fault.StatusMap
 	// Patterns and States form the emitted test set, aligned index-wise
 	// (States is all-X rows for purely combinational designs).
@@ -54,25 +74,47 @@ type workItem struct {
 }
 
 // GenerateAll runs deterministic ATPG over the collapsed fault list of the
-// universe with fault dropping: fault classes fan out to a bounded worker
-// pool (one Engine per worker), and every pattern a worker generates is
-// immediately fault-simulated against the remaining undetected classes so
-// incidentally covered faults are dropped before more ATPG work is
-// dispatched. The classic pattern-count/CPU-time tradeoff: the serial drop
-// loop shrinks both the test set and the number of deterministic searches,
-// while the workers keep the per-fault searches parallel.
-func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome, error) {
+// universe (or the Options.Classes shard of it) with fault dropping: fault
+// classes fan out to a bounded worker pool (one Engine per worker), and every
+// pattern a worker generates is immediately fault-simulated against the
+// remaining undetected classes so incidentally covered faults are dropped
+// before more ATPG work is dispatched. The classic pattern-count/CPU-time
+// tradeoff: the serial drop loop shrinks both the test set and the number of
+// deterministic searches, while the workers keep the per-fault searches
+// parallel.
+//
+// Cancelling ctx stops the run promptly — in-flight searches poll a shared
+// flag once per decision step — and returns ctx.Err() after every worker has
+// drained, so no goroutines outlive the call.
+func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 
+	// The collapse is recomputed per run rather than shared via Options:
+	// Rep path-compresses (writes), so a shared instance would race across
+	// concurrent shard runs. It is O(faults·α) — noise next to the search.
 	collapse := fault.NewCollapse(u)
-	var reps []fault.FID
-	for id := 0; id < u.NumFaults(); id++ {
-		if collapse.Rep(fault.FID(id)) == fault.FID(id) {
-			reps = append(reps, fault.FID(id))
+	reps := opts.Classes
+	if reps == nil {
+		for id := 0; id < u.NumFaults(); id++ {
+			if collapse.Rep(fault.FID(id)) == fault.FID(id) {
+				reps = append(reps, fault.FID(id))
+			}
+		}
+	} else {
+		for _, fid := range reps {
+			if int(fid) < 0 || int(fid) >= u.NumFaults() {
+				return nil, fmt.Errorf("atpg: class %d out of universe range", fid)
+			}
+			if collapse.Rep(fid) != fid {
+				return nil, fmt.Errorf("atpg: class %d is not a collapse representative", fid)
+			}
 		}
 	}
 	status := fault.NewStatusMap(u)
@@ -84,13 +126,36 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 		return nil, err
 	}
 
-	ann, err := n.Annotate()
-	if err != nil {
-		return nil, err
+	// live is the incrementally pruned drop-candidate list: classes not yet
+	// proven Detected or Untestable. Aborted classes stay live — a later
+	// pattern may well cover a fault the deterministic search gave up on.
+	// livePos[fid] tracks each class's slot for O(1) swap-removal, so a
+	// pattern's grading cost tracks the shrinking remainder instead of
+	// rescanning every class of the shard. Built (and validated) before the
+	// worker pool spawns so every error path leaves no goroutine behind.
+	live := append([]fault.FID(nil), reps...)
+	livePos := make([]int32, u.NumFaults())
+	for i := range livePos {
+		livePos[i] = -1
 	}
+	for i, fid := range live {
+		if livePos[fid] != -1 {
+			return nil, fmt.Errorf("atpg: class %d listed twice", fid)
+		}
+		livePos[fid] = int32(i)
+	}
+
+	ann := opts.Annotations
+	if ann == nil {
+		if ann, err = n.Annotate(); err != nil {
+			return nil, err
+		}
+	}
+	var cancelFlag atomic.Bool
 	engines := make([]*Engine, workers)
 	for i := range engines {
 		engines[i] = NewWithAnnotations(n, ann, opts)
+		engines[i].cancel = &cancelFlag
 	}
 
 	jobs := make(chan fault.FID, workers)
@@ -108,6 +173,25 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 	st.Faults = u.NumFaults()
 	st.Classes = len(reps)
 
+	commit := func(fid fault.FID, v Verdict) {
+		if opts.Progress != nil {
+			opts.Progress(fid, v)
+		}
+	}
+
+	unlive := func(fid fault.FID) {
+		i := livePos[fid]
+		if i < 0 {
+			return
+		}
+		last := len(live) - 1
+		moved := live[last]
+		live[i] = moved
+		livePos[moved] = i
+		live = live[:last]
+		livePos[fid] = -1
+	}
+
 	// The coordinator owns the status map: it dispatches still-undetected
 	// classes, fault-simulates each generated pattern, and drops hits.
 	next, inFlight := 0, 0
@@ -122,22 +206,25 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 			inFlight++
 		}
 	}
-	// Aborted classes stay droppable: a later pattern may well cover a
-	// fault the deterministic search gave up on.
-	droppable := func() []fault.FID {
-		var live []fault.FID
-		for _, fid := range reps {
-			if st := status.Get(fid); st == fault.Undetected || st == fault.Aborted {
-				live = append(live, fid)
-			}
-		}
-		return live
-	}
 
 	dispatch()
+	done := ctx.Done()
 	for inFlight > 0 {
-		w := <-results
+		var w workItem
+		select {
+		case <-done:
+			// Stop dispatching, interrupt in-flight searches, and keep
+			// draining results so every worker can exit through the
+			// closed jobs channel below.
+			cancelFlag.Store(true)
+			done = nil
+			continue
+		case w = <-results:
+		}
 		inFlight--
+		if ctx.Err() != nil {
+			continue
+		}
 		st.Backtracks += w.res.Backtracks
 		// A class dropped while its search was in flight needs no further
 		// accounting — the verdicts cannot disagree, only overlap.
@@ -146,11 +233,13 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 			case Detected:
 				status.Set(w.fid, fault.Detected)
 				st.Detected++
+				unlive(w.fid)
+				commit(w.fid, Detected)
 				out.Patterns = append(out.Patterns, w.res.Pattern)
 				out.States = append(out.States, w.res.State)
 				st.Patterns++
 				dropped := grader.Grade(
-					[]sim.Pattern{w.res.Pattern}, []sim.Pattern{w.res.State}, droppable())
+					[]sim.Pattern{w.res.Pattern}, []sim.Pattern{w.res.State}, live)
 				dropped.ForEach(func(fid fault.FID) {
 					if status.Get(fid) == fault.Aborted {
 						st.Aborted--
@@ -158,18 +247,26 @@ func GenerateAll(n *netlist.Netlist, u *fault.Universe, opts Options) (*Outcome,
 					status.Set(fid, fault.Detected)
 					st.Detected++
 					st.SimDropped++
+					unlive(fid)
+					commit(fid, Detected)
 				})
 			case Untestable:
 				status.Set(w.fid, fault.Untestable)
 				st.Untestable++
+				unlive(w.fid)
+				commit(w.fid, Untestable)
 			case Aborted:
 				status.Set(w.fid, fault.Aborted)
 				st.Aborted++
+				commit(w.fid, Aborted)
 			}
 		}
 		dispatch()
 	}
 	close(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	status.SpreadClasses(collapse)
 	st.Elapsed = time.Since(start)

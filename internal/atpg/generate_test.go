@@ -1,0 +1,200 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"olfui/internal/fault"
+	"olfui/internal/netlist"
+	"olfui/internal/testutil"
+)
+
+// waitGoroutines asserts the worker fleet drained after a cancelled run.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	if err := testutil.WaitGoroutines(base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAllPreCancelled(t *testing.T) {
+	n := benchCircuit(t)
+	u := fault.NewUniverse(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := runtime.NumGoroutine()
+	if _, err := GenerateAll(ctx, n, u, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestGenerateAllCancelMidRun cancels while the fleet is mid-flight: the run
+// must return ctx.Err() promptly and every worker goroutine must exit.
+func TestGenerateAllCancelMidRun(t *testing.T) {
+	n := benchCircuit(t)
+	u := fault.NewUniverse(n)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := false
+	opts := Options{
+		Workers: 4,
+		Progress: func(fault.FID, Verdict) {
+			// Cancel on the first committed verdict, with plenty of
+			// classes still undispatched.
+			if !fired {
+				fired = true
+				cancel()
+			}
+		},
+	}
+	out, err := GenerateAll(ctx, n, u, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (out=%v), want context.Canceled", err, out != nil)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestGenerateAllDeadline(t *testing.T) {
+	n := benchCircuit(t)
+	u := fault.NewUniverse(n)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := GenerateAll(ctx, n, u, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestGenerateAllShardsMatchFull runs every shard of a PlanShards plan
+// through Options.Classes and checks the lattice-merged union reproduces the
+// unsharded statuses exactly (the circuit resolves without aborts, so
+// verdicts are complete proofs and shard-count-invariant).
+func TestGenerateAllShardsMatchFull(t *testing.T) {
+	n := benchCircuit(t)
+	u := fault.NewUniverse(n)
+	full, err := GenerateAll(context.Background(), n, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Aborted != 0 {
+		t.Fatalf("benchmark circuit aborted %d classes", full.Stats.Aborted)
+	}
+	for _, k := range []int{2, 5} {
+		acc := fault.NewAccumulator(u)
+		shards := fault.PlanShards(u, nil, k)
+		classes := 0
+		for _, sh := range shards {
+			out, err := GenerateAll(context.Background(), n, u, Options{Classes: sh.Classes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes += out.Stats.Classes
+			d := fault.Delta{Source: "shard"}
+			d.Source = "shard" + string(rune('0'+sh.Index))
+			for id := 0; id < u.NumFaults(); id++ {
+				if st := out.Status.Get(fault.FID(id)); st != fault.Undetected {
+					d.FIDs = append(d.FIDs, fault.FID(id))
+					d.Statuses = append(d.Statuses, st)
+				}
+			}
+			if err := acc.Apply(d); err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, sh.Index, err)
+			}
+		}
+		if classes != full.Stats.Classes {
+			t.Fatalf("k=%d: shards targeted %d classes, full run %d", k, classes, full.Stats.Classes)
+		}
+		for id := 0; id < u.NumFaults(); id++ {
+			if got, want := acc.Get(fault.FID(id)), full.Status.Get(fault.FID(id)); got != want {
+				t.Fatalf("k=%d fault %d: sharded %v, full %v", k, id, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateAllClassesValidation(t *testing.T) {
+	n := netlist.New("cls")
+	a, b := n.Input("a"), n.Input("b")
+	n.OutputPort("po", n.And("g", a, b))
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u := fault.NewUniverse(n)
+	c := fault.NewCollapse(u)
+	var nonRep fault.FID = fault.InvalidFID
+	for id := 0; id < u.NumFaults(); id++ {
+		if c.Rep(fault.FID(id)) != fault.FID(id) {
+			nonRep = fault.FID(id)
+			break
+		}
+	}
+	if nonRep == fault.InvalidFID {
+		t.Fatal("collapse produced no merged class on an AND gate")
+	}
+	// Every rejection must fire before the worker pool spawns: validation
+	// errors may not leak goroutines.
+	base := runtime.NumGoroutine()
+	if _, err := GenerateAll(context.Background(), n, u, Options{Classes: []fault.FID{nonRep}}); err == nil {
+		t.Error("non-representative class: want error")
+	}
+	if _, err := GenerateAll(context.Background(), n, u, Options{Classes: []fault.FID{fault.FID(u.NumFaults())}}); err == nil {
+		t.Error("out-of-range class: want error")
+	}
+	rep := c.Rep(nonRep)
+	if _, err := GenerateAll(context.Background(), n, u, Options{Classes: []fault.FID{rep, rep}}); err == nil {
+		t.Error("duplicate class: want error")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestGenerateAllProgressMatchesOutcome replays the streamed verdicts into
+// an accumulator and checks the lattice agrees with the final class-rep
+// statuses — the invariant providers rely on to stream evidence early.
+func TestGenerateAllProgressMatchesOutcome(t *testing.T) {
+	n := benchCircuit(t)
+	u := fault.NewUniverse(n)
+	acc := fault.NewAccumulator(u)
+	seq := 0
+	var perr error
+	opts := Options{
+		Progress: func(fid fault.FID, v Verdict) {
+			st := fault.Detected
+			switch v {
+			case Untestable:
+				st = fault.Untestable
+			case Aborted:
+				st = fault.Aborted
+			}
+			if err := acc.Apply(fault.Delta{
+				Source: "stream", Seq: seq,
+				FIDs: []fault.FID{fid}, Statuses: []fault.Status{st},
+			}); err != nil && perr == nil {
+				perr = err
+			}
+			seq++
+		},
+	}
+	out, err := GenerateAll(context.Background(), n, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	c := fault.NewCollapse(u)
+	for id := 0; id < u.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if c.Rep(fid) != fid {
+			continue
+		}
+		if got, want := acc.Get(fid), out.Status.Get(fid); got != want {
+			t.Fatalf("rep %d: streamed %v, outcome %v", id, got, want)
+		}
+	}
+}

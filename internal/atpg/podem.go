@@ -21,6 +21,9 @@ func (e *Engine) Generate(f fault.Fault) Result {
 
 	e.imply()
 	for {
+		if e.cancel != nil && e.cancel.Load() {
+			return Result{Verdict: Aborted, Backtracks: e.backtracks}
+		}
 		if e.detected() {
 			return Result{
 				Verdict:    Detected,

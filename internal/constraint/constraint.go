@@ -234,7 +234,12 @@ func outputReachingFFs(c *netlist.Netlist) map[netlist.GateID]bool {
 }
 
 // ObsFn selects the observation points of a scenario on the transformed
-// clone. Nil in a scenario means full-scan observation.
+// clone. Nil in a scenario means full-scan observation. The flow's campaign
+// providers call the selector themselves — a ScenarioProvider on its
+// constrained clone, a PatternProvider on the original netlist (defaulting
+// to ObserveOutputs, the points an on-line checker can compare) — so a
+// selector must be a pure function of the netlist it is handed, safe to
+// invoke on any clone that honors the identity contract.
 type ObsFn func(*netlist.Netlist) []sim.ObsPoint
 
 // ObserveFullScan observes primary outputs and flip-flop D pins — the

@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"context"
 	"testing"
 
 	"olfui/internal/atpg"
@@ -33,7 +34,7 @@ func TestTieScanEnableMakesScanPathUntestable(t *testing.T) {
 	u := fault.NewUniverse(n)
 	// Full scan: the scan-data pin of the mux is testable (set scan_en=1).
 	d1sa0 := u.IDOf(fault.Fault{Site: fault.Site{Gate: mux, Pin: netlist.MuxD1}, SA: logic.Zero})
-	out, err := atpg.GenerateAll(n, u, atpg.Options{})
+	out, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestTieScanEnableMakesScanPathUntestable(t *testing.T) {
 		t.Fatal(err)
 	}
 	cu := fault.NewUniverse(c)
-	cout, err := atpg.GenerateAll(c, cu, atpg.Options{})
+	cout, err := atpg.GenerateAll(context.Background(), c, cu, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestOneHotFieldConstraint(t *testing.T) {
 
 	// Full scan: both=1 is reachable, so both/Z s-a-0 is detectable.
 	sa0 := fault.Fault{Site: fault.Site{Gate: bg, Pin: fault.OutputPin}, SA: logic.Zero}
-	out, err := atpg.GenerateAll(n, u, atpg.Options{})
+	out, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestOneHotFieldConstraint(t *testing.T) {
 		t.Fatal(err)
 	}
 	cu := fault.NewUniverse(c)
-	cout, err := atpg.GenerateAll(c, cu, atpg.Options{})
+	cout, err := atpg.GenerateAll(context.Background(), c, cu, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestUnrollProvesUnreachableStateUntestable(t *testing.T) {
 	sa1 := fault.Fault{Site: fault.Site{Gate: eq, Pin: fault.OutputPin}, SA: logic.One}
 
 	// Full scan treats q1,q2 as free pseudo-inputs: q1==q2 is assignable.
-	out, err := atpg.GenerateAll(n, u, atpg.Options{})
+	out, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestUnrollProvesUnreachableStateUntestable(t *testing.T) {
 		t.Fatalf("unroll left %d live flip-flops", got)
 	}
 	cu := fault.NewUniverse(c)
-	cout, err := atpg.GenerateAll(c, cu, atpg.Options{})
+	cout, err := atpg.GenerateAll(context.Background(), c, cu, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestUnrollResetInit(t *testing.T) {
 	cu := fault.NewUniverse(c)
 	sa1 := cu.IDOf(fault.Fault{Site: fault.Site{Gate: eq, Pin: fault.OutputPin}, SA: logic.One})
 	sa0 := cu.IDOf(fault.Fault{Site: fault.Site{Gate: eq, Pin: fault.OutputPin}, SA: logic.Zero})
-	cout, err := atpg.GenerateAll(c, cu, atpg.Options{})
+	cout, err := atpg.GenerateAll(context.Background(), c, cu, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,55 @@
+package fault
+
+// Shard is one planned partition of a universe's collapsed class list: the
+// unit of work a campaign hands to an independent ATPG worker (a goroutine
+// today, a process or machine once the delta protocol goes over a wire).
+// Verdicts proven on a shard's classes stream back as Deltas and merge with
+// every other shard's through an Accumulator.
+type Shard struct {
+	Index int // 0-based shard number
+	Of    int // total shards in the plan
+	// Classes holds the shard's collapsed-class representatives, ascending.
+	Classes []FID
+}
+
+// PlanShards partitions the collapsed class representatives of u into k
+// shards. Representatives are enumerated in ascending FID order and dealt
+// round-robin, which balances shard sizes to within one class and — because
+// both enumeration and dealing are deterministic — makes plans reproducible
+// across processes without coordination. c may be nil, in which case the
+// collapse is computed here; passing an existing collapse avoids the
+// recomputation. k < 1 is treated as 1, and k is capped at the class count
+// (never below 1) so no planned shard is empty — an empty shard's nil class
+// list would read as "every class" to atpg.GenerateAll. The shards
+// partition the class list: every representative appears in exactly one
+// shard.
+//
+// Classification is shard-count-invariant up to Aborted verdicts: Detected
+// and Untestable are complete proofs, so any k yields the same terminal
+// statuses; only faults at the backtrack limit can differ, since
+// cross-shard fault dropping no longer rescues an aborted class.
+func PlanShards(u *Universe, c *Collapse, k int) []Shard {
+	if c == nil {
+		c = NewCollapse(u)
+	}
+	var reps []FID
+	for id := 0; id < u.NumFaults(); id++ {
+		if c.Rep(FID(id)) == FID(id) {
+			reps = append(reps, FID(id))
+		}
+	}
+	if k > len(reps) {
+		k = len(reps)
+	}
+	if k < 1 {
+		k = 1
+	}
+	shards := make([]Shard, k)
+	for i := range shards {
+		shards[i] = Shard{Index: i, Of: k, Classes: []FID{}}
+	}
+	for i, fid := range reps {
+		shards[i%k].Classes = append(shards[i%k].Classes, fid)
+	}
+	return shards
+}

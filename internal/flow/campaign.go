@@ -1,0 +1,322 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"olfui/internal/atpg"
+	"olfui/internal/fault"
+	"olfui/internal/netlist"
+)
+
+// Channel names the evidence domain a provider's deltas merge into. The two
+// domains are kept apart because their claims are about different machines:
+// full-scan verdicts are proven at full controllability and observability,
+// mission verdicts on a restricted mission model. A fault that is Detected
+// full-scan yet Untestable in mission mode is the paper's headline category,
+// not a conflict — whereas Detected-vs-Untestable inside one channel is a
+// hard error (fault.ConflictError).
+type Channel uint8
+
+// Evidence channels.
+const (
+	// ChannelFullScan carries verdicts proven on the original netlist at
+	// full-scan controllability and observability.
+	ChannelFullScan Channel = iota
+	// ChannelMission carries mission-mode evidence: Untestable proofs from
+	// constrained-scenario ATPG and Detected verdicts from graded mission
+	// stimuli. A conflict here means a scenario transform was unsound or a
+	// stimulus violated the mission model it was graded against.
+	ChannelMission
+	channelCount
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	switch c {
+	case ChannelFullScan:
+		return "full-scan"
+	case ChannelMission:
+		return "mission"
+	}
+	return fmt.Sprintf("Channel(%d)", uint8(c))
+}
+
+// Env hands a provider the campaign's shared inputs.
+type Env struct {
+	N        *netlist.Netlist
+	Universe *fault.Universe
+	// ATPG configures the provider's engines; Workers is this provider's
+	// share of the campaign budget. ObsPoints and Classes arrive nil —
+	// providers select their own observation and class subset.
+	ATPG atpg.Options
+}
+
+// EmitFn delivers one delta into the campaign merge. A non-nil return (a
+// lattice conflict or protocol violation) is fatal: the campaign is being
+// cancelled and the provider should return promptly.
+type EmitFn func(fault.Delta) error
+
+// Provider is one pluggable evidence source. Run streams ordered deltas
+// about Env.Universe into emit — partial evidence as it is proven, not one
+// terminal batch — and returns once its stream is complete or ctx is
+// cancelled. Deltas must use the provider's Name as their Source (shard or
+// sub-stream suffixes are fine as long as each source's Seq counts from 0)
+// and must only strengthen statuses in the evidence lattice.
+type Provider interface {
+	Name() string
+	Channel() Channel
+	Run(ctx context.Context, env Env, emit EmitFn) error
+}
+
+// Event is one per-provider progress notification, delivered serially from
+// the campaign's merge path.
+type Event struct {
+	Provider string
+	Channel  Channel
+	// Seq and Faults describe the merged delta (Faults counts its evidence
+	// entries). For the terminal event of a provider, Done is true, Seq is
+	// the number of deltas merged from it, and Err is its failure, if any.
+	Seq    int
+	Faults int
+	Done   bool
+	Err    error
+}
+
+// CampaignOptions configures a campaign run.
+type CampaignOptions struct {
+	// ATPG is the engine configuration template. Workers is the TOTAL
+	// worker budget: it is divided across concurrently running providers,
+	// remainder spread over the first Workers%len(providers) of them, so
+	// no worker is silently lost to floor division. ObsPoints and Classes
+	// must be nil — providers own both.
+	ATPG atpg.Options
+	// Serial runs providers one at a time in Add order, each with the full
+	// worker budget (deterministic profiling; also what the flow.Run
+	// compatibility wrapper uses for Options.SerialScenarios).
+	Serial bool
+	// Progress, when non-nil, observes every merged delta and provider
+	// completion. It is called with the merge lock held: keep it fast and
+	// do not call back into the campaign.
+	Progress func(Event)
+}
+
+// Campaign accumulates streaming fault evidence from a set of providers
+// into per-channel lattice merges. Build one with NewCampaign, Add
+// providers, then Run it.
+type Campaign struct {
+	n         *netlist.Netlist
+	u         *fault.Universe
+	opts      CampaignOptions
+	providers []Provider
+	names     map[string]bool
+}
+
+// NewCampaign prepares an empty campaign over n's fault universe u.
+func NewCampaign(n *netlist.Netlist, u *fault.Universe, opts CampaignOptions) *Campaign {
+	return &Campaign{n: n, u: u, opts: opts, names: map[string]bool{}}
+}
+
+// Add registers providers. Names must be unique and non-empty.
+func (c *Campaign) Add(ps ...Provider) error {
+	for _, p := range ps {
+		name := p.Name()
+		if name == "" {
+			return fmt.Errorf("flow: provider with empty name")
+		}
+		if c.names[name] {
+			return fmt.Errorf("flow: duplicate provider %q", name)
+		}
+		if p.Channel() >= channelCount {
+			return fmt.Errorf("flow: provider %q: unknown channel %v", name, p.Channel())
+		}
+		c.names[name] = true
+		c.providers = append(c.providers, p)
+	}
+	return nil
+}
+
+// EvidenceSet is the merged outcome of a campaign run: one accumulator per
+// evidence channel.
+type EvidenceSet struct {
+	FullScan *fault.Accumulator
+	Mission  *fault.Accumulator
+}
+
+// channel returns the accumulator backing ch.
+func (e *EvidenceSet) channel(ch Channel) *fault.Accumulator {
+	if ch == ChannelFullScan {
+		return e.FullScan
+	}
+	return e.Mission
+}
+
+// Run executes every provider and merges their delta streams. It returns
+// the merged evidence once all providers complete, or the first fatal error:
+// a provider failure, a lattice conflict (fault.ConflictError), a delta
+// protocol violation, or ctx's error. On any failure the remaining
+// providers are cancelled and Run does not return until every provider
+// goroutine has exited — a cancelled campaign leaks nothing.
+func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
+	if c.opts.ATPG.ObsPoints != nil {
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.ObsPoints must be nil; providers select observation")
+	}
+	if c.opts.ATPG.Classes != nil {
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Classes must be nil; providers select classes")
+	}
+	if c.opts.ATPG.Annotations != nil {
+		// Annotations are per-netlist; scenario providers run on transformed
+		// clones, where the original's tables would index out of range.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Annotations must be nil; providers annotate their own netlists")
+	}
+	if c.opts.ATPG.Progress != nil {
+		// Providers install their own verdict callbacks to stream deltas; a
+		// caller-set one would be silently overwritten. Campaign-level
+		// progress is CampaignOptions.Progress.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Progress must be nil; use CampaignOptions.Progress")
+	}
+	if len(c.providers) == 0 {
+		return nil, fmt.Errorf("flow: campaign has no providers")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ev := &EvidenceSet{
+		FullScan: fault.NewAccumulator(c.u),
+		Mission:  fault.NewAccumulator(c.u),
+	}
+
+	// The merge path: providers emit concurrently, the lock serializes
+	// lattice application and progress reporting. The first fatal error
+	// cancels everything still running.
+	var (
+		mu        sync.Mutex
+		mergeErr  error
+		mergeFrom = -1                            // provider index that caused mergeErr
+		merged    = make([]int, len(c.providers)) // deltas merged per provider
+	)
+	fail := func(pi int, err error) error {
+		if mergeErr == nil {
+			mergeErr = err
+			mergeFrom = pi
+		}
+		cancel()
+		return mergeErr
+	}
+	emitFor := func(pi int) EmitFn {
+		p := c.providers[pi]
+		return func(d fault.Delta) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if mergeErr != nil {
+				return mergeErr
+			}
+			if err := ev.channel(p.Channel()).Apply(d); err != nil {
+				return fail(pi, fmt.Errorf("flow: provider %q: %w", p.Name(), err))
+			}
+			merged[pi]++
+			if c.opts.Progress != nil {
+				c.opts.Progress(Event{
+					Provider: p.Name(), Channel: p.Channel(),
+					Seq: d.Seq, Faults: len(d.FIDs),
+				})
+			}
+			return nil
+		}
+	}
+
+	workers := c.budget()
+	runOne := func(pi int) {
+		p := c.providers[pi]
+		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG}
+		env.ATPG.Workers = workers[pi]
+		err := p.Run(ctx, env, emitFor(pi))
+		mu.Lock()
+		defer mu.Unlock()
+		// A provider error is benign only when it is the campaign winding
+		// down: the provider surfaced ANOTHER provider's stored merge error
+		// from emit, or returned the campaign context's error after
+		// cancellation. The provider that caused the merge error keeps it
+		// for its own terminal event, and a context error produced while
+		// OUR context is still live (say, a provider-internal deadline) is
+		// a genuine failure — swallowing it would silently drop the
+		// provider's evidence.
+		windingDown := err != nil &&
+			((mergeErr != nil && errors.Is(err, mergeErr) && mergeFrom != pi) ||
+				(ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))))
+		if err != nil && !windingDown {
+			fail(pi, fmt.Errorf("flow: provider %q: %w", p.Name(), err))
+		}
+		evErr := err
+		if windingDown {
+			// Don't attribute another provider's failure (or the caller's
+			// cancellation) to this provider in its terminal event.
+			evErr = context.Canceled
+		}
+		if c.opts.Progress != nil {
+			c.opts.Progress(Event{
+				Provider: p.Name(), Channel: p.Channel(),
+				Seq: merged[pi], Done: true, Err: evErr,
+			})
+		}
+	}
+
+	if c.opts.Serial {
+		for pi := range c.providers {
+			runOne(pi)
+			if mergeErr != nil || ctx.Err() != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for pi := range c.providers {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				runOne(pi)
+			}(pi)
+		}
+		wg.Wait()
+	}
+
+	if err := ctx.Err(); mergeErr == nil && err != nil {
+		return nil, err
+	}
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	return ev, nil
+}
+
+// budget divides the total worker budget across concurrently running
+// providers: every provider gets at least one worker, and the remainder of
+// the floor division goes to the first total%P providers instead of being
+// silently dropped.
+func (c *Campaign) budget() []int {
+	total := c.opts.ATPG.Workers
+	if total <= 0 {
+		total = runtime.NumCPU()
+	}
+	out := make([]int, len(c.providers))
+	if c.opts.Serial || len(c.providers) == 1 {
+		for i := range out {
+			out[i] = total
+		}
+		return out
+	}
+	base, rem := total/len(c.providers), total%len(c.providers)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

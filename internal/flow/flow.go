@@ -1,27 +1,36 @@
-// Package flow implements the paper's identification pipeline for on-line
-// functionally untestable faults. It takes the original netlist plus a set of
-// named mission-mode scenarios (constraint transform stacks with an
-// observation-point selection), runs the PODEM fleet on each constrained
-// clone in parallel, projects every per-scenario StatusMap back onto the
-// original fault universe, and classifies every fault of the universe:
+// Package flow orchestrates the paper's identification pipeline as a
+// streaming evidence campaign. Evidence about the faults of one universe —
+// detected, proven functionally untestable, unresolved — arrives from
+// pluggable Providers as ordered fault.Delta streams and folds into
+// per-channel monotone lattice merges (Undetected < Aborted <
+// Detected/Untestable; Detected-vs-Untestable inside a channel is a hard
+// conflict, see fault.ConflictError). Three providers ship here:
 //
-//   - FullScanTestable — detected by the unconstrained full-scan baseline
-//     and not proven functionally untestable;
-//   - FuncUntestable — proven Untestable on at least one scenario clone (or
-//     already untestable full-scan, which subsumes every scenario); the
-//     proving scenario is kept as evidence;
-//   - Unresolved — neither (aborted searches, or faults no scenario could
-//     evaluate).
+//   - BaselineProvider — full-scan ATPG on the original netlist, shardable
+//     via fault.PlanShards so independent workers stream partial results
+//     that merge through the same delta protocol;
+//   - ScenarioProvider — ATPG on a mission-constrained clone (constraint
+//     transforms plus an observation selection), streaming projected
+//     untestability proofs;
+//   - PatternProvider — sim.GradeSeq grading of externally produced mission
+//     stimuli, streaming measured on-line detections.
 //
-// The headline deliverable is the coverage-target correction: faults that
+// A Campaign runs providers concurrently under a context.Context —
+// cancellation and deadlines stop ATPG mid-search with no goroutine leaks —
+// and reports per-provider progress events as deltas merge.
+//
+// On top of the campaign core, RunCampaign assembles the paper's
+// deliverable: it classifies every fault of the original universe as
+// FullScanTestable, FuncUntestable (with the proving scenario as evidence)
+// or Unresolved, and computes the coverage-target correction — faults that
 // are Detected full-scan but functionally untestable inflate an on-line
-// self-test's coverage target, and the corrected target excludes them.
+// self-test's coverage target, and the corrected target excludes them. Run
+// is the batch-call compatibility wrapper over the same machinery.
 package flow
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -91,10 +100,18 @@ type ScenarioResult struct {
 type Report struct {
 	N        *netlist.Netlist
 	Universe *fault.Universe
-	// Baseline is the unconstrained full-scan ATPG outcome.
+	// Baseline is the unconstrained full-scan ATPG outcome (merged across
+	// shards when the campaign ran a sharded baseline).
 	Baseline *atpg.Outcome
 	// Scenarios holds per-scenario results in input order.
 	Scenarios []*ScenarioResult
+	// Mission is the merged mission-channel evidence: Untestable entries
+	// streamed by scenario providers, Detected entries by graded pattern
+	// sets.
+	Mission *fault.StatusMap
+	// PatternDetected is the set of faults the graded mission pattern sets
+	// detected; nil when no patterns were supplied.
+	PatternDetected *fault.Set
 	// Class[fid] classifies every fault of the original universe.
 	Class []Classification
 	// evidence[fid] is the index into Scenarios of the proving scenario,
@@ -104,20 +121,48 @@ type Report struct {
 
 // Options configures a flow run.
 type Options struct {
-	// ATPG configures the per-scenario engines. ObsPoints must be left
-	// nil: scenarios carry their own observation selection.
+	// ATPG configures the engines; Workers is the total budget divided
+	// across concurrently running providers. ObsPoints and Classes must be
+	// left nil: providers carry their own observation and class selection.
 	ATPG atpg.Options
-	// SerialScenarios disables cross-scenario parallelism (useful for
-	// deterministic profiling); by default scenarios run concurrently and
-	// the ATPG worker budget is divided between them.
+	// SerialScenarios disables cross-provider parallelism (useful for
+	// deterministic profiling); by default providers run concurrently.
 	SerialScenarios bool
+	// Shards splits the full-scan baseline into this many independently
+	// streamed shards (fault.PlanShards); 0 or 1 means unsharded.
+	Shards int
+	// Patterns are externally produced mission stimuli graded by a
+	// PatternProvider alongside the ATPG providers.
+	Patterns []PatternSet
+	// Progress, when non-nil, observes merged deltas and provider
+	// completions.
+	Progress func(Event)
 }
 
-// Run executes the identification pipeline. The universe must be enumerated
-// on n. Scenario names must be unique and non-empty.
+// Run executes the identification pipeline as a batch call: a campaign over
+// the baseline and scenario providers under a background context. It is the
+// compatibility wrapper over RunCampaign — existing callers keep the exact
+// pre-campaign behavior and Report. The universe must be enumerated on n.
+// Scenario names must be unique and non-empty.
 func Run(n *netlist.Netlist, u *fault.Universe, scenarios []Scenario, opts Options) (*Report, error) {
+	return RunCampaign(context.Background(), n, u, scenarios, opts)
+}
+
+// RunCampaign executes the identification pipeline under ctx: a sharded
+// full-scan baseline, one provider per scenario, and — when opts.Patterns is
+// non-empty — a pattern-grading provider, all streaming into one campaign.
+func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, scenarios []Scenario, opts Options) (*Report, error) {
 	if opts.ATPG.ObsPoints != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.ObsPoints must be nil; scenarios select observation")
+	}
+	if opts.ATPG.Classes != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Classes must be nil; the baseline shard plan selects classes")
+	}
+	if opts.ATPG.Annotations != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Annotations must be nil; providers annotate their own netlists")
+	}
+	if opts.ATPG.Progress != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Progress must be nil; use Options.Progress for campaign events")
 	}
 	seen := map[string]bool{}
 	for _, sc := range scenarios {
@@ -130,92 +175,61 @@ func Run(n *netlist.Netlist, u *fault.Universe, scenarios []Scenario, opts Optio
 		seen[sc.Name] = true
 	}
 
-	// Full-scan baseline on the original netlist: the reference both for
-	// FullScanTestable and for the "detected full-scan yet functionally
-	// untestable" faults the coverage correction is about.
-	baseline, err := atpg.GenerateAll(n, u, opts.ATPG)
+	c := NewCampaign(n, u, CampaignOptions{
+		ATPG:     opts.ATPG,
+		Serial:   opts.SerialScenarios,
+		Progress: opts.Progress,
+	})
+	// One annotation pass serves every baseline shard (scenario providers
+	// annotate their own clones).
+	ann, err := n.Annotate()
 	if err != nil {
-		return nil, fmt.Errorf("flow: baseline ATPG: %w", err)
+		return nil, fmt.Errorf("flow: annotate: %w", err)
 	}
+	base := NewBaselineProviders(u, opts.Shards)
+	for _, p := range base {
+		p.Ann = ann
+		if err := c.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	scps := make([]*ScenarioProvider, len(scenarios))
+	for i, sc := range scenarios {
+		scps[i] = &ScenarioProvider{Scenario: sc}
+		if err := c.Add(scps[i]); err != nil {
+			return nil, err
+		}
+	}
+	var pp *PatternProvider
+	if len(opts.Patterns) > 0 {
+		pp = &PatternProvider{Sets: opts.Patterns}
+		if err := c.Add(pp); err != nil {
+			return nil, err
+		}
+	}
+
+	ev, err := c.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
 	r := &Report{
 		N:        n,
 		Universe: u,
-		Baseline: baseline,
+		Baseline: MergeOutcomes(base, ev.FullScan.Status()),
+		Mission:  ev.Mission.Status(),
 		Class:    make([]Classification, u.NumFaults()),
 		evidence: make([]int32, u.NumFaults()),
 	}
-
-	// Divide the worker budget across concurrently running scenarios.
-	scOpts := opts.ATPG
-	if !opts.SerialScenarios && len(scenarios) > 1 {
-		total := scOpts.Workers
-		if total <= 0 {
-			total = runtime.NumCPU()
-		}
-		if w := total / len(scenarios); w >= 1 {
-			scOpts.Workers = w
-		} else {
-			scOpts.Workers = 1
-		}
+	r.Scenarios = make([]*ScenarioResult, len(scps))
+	for i, p := range scps {
+		r.Scenarios[i] = p.Result
 	}
-
-	r.Scenarios = make([]*ScenarioResult, len(scenarios))
-	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
-	for i, sc := range scenarios {
-		run := func(i int, sc Scenario) {
-			r.Scenarios[i], errs[i] = runScenario(n, u, sc, scOpts)
-		}
-		if opts.SerialScenarios {
-			run(i, sc)
-			continue
-		}
-		wg.Add(1)
-		go func(i int, sc Scenario) {
-			defer wg.Done()
-			run(i, sc)
-		}(i, sc)
+	if pp != nil {
+		r.PatternDetected = pp.Detected
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("flow: scenario %q: %w", scenarios[i].Name, err)
-		}
-	}
-
 	r.classify()
 	return r, nil
-}
-
-// runScenario proves verdicts on one constrained clone and projects them
-// back onto the original universe.
-func runScenario(n *netlist.Netlist, u *fault.Universe, sc Scenario, opts atpg.Options) (*ScenarioResult, error) {
-	clone := n.Clone()
-	if err := constraint.Apply(clone, sc.Transforms...); err != nil {
-		return nil, err
-	}
-	cu := fault.NewUniverse(clone)
-	obsFn := sc.Observe
-	if obsFn == nil {
-		obsFn = constraint.ObserveFullScan
-	}
-	obs := obsFn(clone)
-	if len(obs) == 0 {
-		return nil, fmt.Errorf("observation selection returned no points")
-	}
-	opts.ObsPoints = obs
-	out, err := atpg.GenerateAll(clone, cu, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &ScenarioResult{
-		Scenario:  sc,
-		Clone:     clone,
-		Universe:  cu,
-		Obs:       obs,
-		Outcome:   out,
-		Projected: fault.Project(cu, out.Status, u),
-	}, nil
 }
 
 // classify folds the baseline and every projected scenario map into the

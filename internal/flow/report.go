@@ -17,6 +17,16 @@ type Summary struct {
 	// is wrongly graded against.
 	OverCounted int
 	Unresolved  int
+	// MissionDetected counts faults detected by graded mission pattern
+	// sets that the corrected target keeps (0 when the campaign ran
+	// without a PatternProvider). Detections of FuncUntestable faults are
+	// excluded: the stem-attribution convention can classify a fault
+	// untestable although its net is live on the original netlist the
+	// stimuli are graded on, and counting such detections would push
+	// MissionCoverage past 100%. Measured against CorrectedTarget this
+	// closes the loop between identified untestable faults and achieved
+	// on-line coverage.
+	MissionDetected int
 }
 
 // Summarize computes the Summary of a report.
@@ -38,7 +48,24 @@ func (r *Report) Summarize() Summary {
 			s.Unresolved++
 		}
 	}
+	if r.PatternDetected != nil {
+		r.PatternDetected.ForEach(func(fid fault.FID) {
+			if r.Class[fid] != FuncUntestable {
+				s.MissionDetected++
+			}
+		})
+	}
 	return s
+}
+
+// MissionCoverage grades the pattern-set detections against the corrected
+// target — the measured on-line coverage of the imported mission stimuli.
+func (s Summary) MissionCoverage() float64 {
+	target := s.CorrectedTarget()
+	if target == 0 {
+		return 0
+	}
+	return float64(s.MissionDetected) / float64(target)
 }
 
 // FullScanCoverage is the classic fault coverage: detected / all faults.
@@ -87,5 +114,9 @@ func (r *Report) String() string {
 		s.CorrectedTarget(), s.FuncUntestable)
 	fmt.Fprintf(&b, "  corrected coverage:        %d/%d = %.2f%%\n",
 		s.FullScanDetected-s.OverCounted, s.CorrectedTarget(), 100*s.CorrectedCoverage())
+	if r.PatternDetected != nil {
+		fmt.Fprintf(&b, "  mission pattern coverage:  %d/%d = %.2f%%\n",
+			s.MissionDetected, s.CorrectedTarget(), 100*s.MissionCoverage())
+	}
 	return b.String()
 }

@@ -1,0 +1,27 @@
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// WaitGoroutines polls until the process goroutine count drops back to at
+// most base, returning an error if it has not within five seconds. Tests
+// record runtime.NumGoroutine() before starting a cancellable run and call
+// this afterwards to prove the run leaked nothing — workers need a moment
+// to drain after a cancelled call returns, so a bare count comparison would
+// flake.
+func WaitGoroutines(base int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines leaked: %d, want <= %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

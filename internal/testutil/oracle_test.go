@@ -1,6 +1,7 @@
 package testutil
 
 import (
+	"context"
 	"testing"
 
 	"olfui/internal/atpg"
@@ -139,7 +140,7 @@ func TestATPGVerdictsAgainstOracle(t *testing.T) {
 		nl := RandomNetlist(seed, RandOpts{Inputs: 4, Gates: 14, FFs: 2, Outputs: 2})
 		u := fault.NewUniverse(nl)
 		for _, obs := range [][]sim.ObsPoint{nil, sim.OutputObsPoints(nl)} {
-			out, err := atpg.GenerateAll(nl, u, atpg.Options{ObsPoints: obs, Workers: 2})
+			out, err := atpg.GenerateAll(context.Background(), nl, u, atpg.Options{ObsPoints: obs, Workers: 2})
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
