@@ -28,14 +28,15 @@ import (
 
 // config collects the command-line knobs.
 type config struct {
-	width     int
-	workers   int
-	limit     int
-	frames    int
-	shards    int
-	patterns  string // stimulus file for the pattern-import provider
-	progress  bool
-	selfcheck bool
+	width          int
+	workers        int
+	limit          int
+	frames         int
+	shards         int
+	scenarioShards int
+	patterns       string // stimulus file for the pattern-import provider
+	progress       bool
+	selfcheck      bool
 }
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 	flag.IntVar(&cfg.limit, "limit", 0, "backtrack limit (0 = default)")
 	flag.IntVar(&cfg.frames, "frames", 2, "time frames for the reach-constrained scenario")
 	flag.IntVar(&cfg.shards, "shards", 1, "full-scan baseline shards (streamed and merged)")
+	flag.IntVar(&cfg.scenarioShards, "scenario-shards", 1,
+		"per-scenario constrained-clone class shards (streamed and merged)")
 	flag.StringVar(&cfg.patterns, "patterns", "", "mission stimulus file to grade (see cmd/olfui/patterns.go for the format)")
 	flag.BoolVar(&cfg.progress, "progress", false, "print per-provider delta merges and completions")
 	flag.BoolVar(&cfg.selfcheck, "selfcheck", false,
@@ -58,9 +61,32 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config) error {
+	r, err := runCampaign(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+
+	printExamples(r, r.Universe)
+	if err := crossCheck(r, r.Universe); err != nil {
+		return err
+	}
+	if cfg.selfcheck {
+		if err := oracleSample(r); err != nil {
+			return err
+		}
+	}
+	fmt.Println("OK")
+	return nil
+}
+
+// runCampaign assembles the benchmark and its mission scenarios and executes
+// the identification campaign, returning the report for run to render (and
+// for tests to compare across sharding configurations).
+func runCampaign(ctx context.Context, cfg config) (*flow.Report, error) {
 	n := buildBench(cfg.width)
 	if err := n.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(n.CollectStats())
 	u := fault.NewUniverse(n)
@@ -87,13 +113,14 @@ func run(ctx context.Context, cfg config) error {
 	}
 
 	opts := flow.Options{
-		ATPG:   atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit},
-		Shards: cfg.shards,
+		ATPG:           atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit},
+		Shards:         cfg.shards,
+		ScenarioShards: cfg.scenarioShards,
 	}
 	if cfg.patterns != "" {
 		sets, err := loadPatternSets(n, cfg.patterns)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		opts.Patterns = sets
 	}
@@ -107,23 +134,7 @@ func run(ctx context.Context, cfg config) error {
 		}
 	}
 
-	r, err := flow.RunCampaign(ctx, n, u, scenarios, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.String())
-
-	printExamples(r, u)
-	if err := crossCheck(r, u); err != nil {
-		return err
-	}
-	if cfg.selfcheck {
-		if err := oracleSample(r); err != nil {
-			return err
-		}
-	}
-	fmt.Println("OK")
-	return nil
+	return flow.RunCampaign(ctx, n, u, scenarios, opts)
 }
 
 // buildBench assembles the benchmark: ALU with one-hot-selected result,
@@ -237,7 +248,9 @@ func crossCheck(r *flow.Report, u *fault.Universe) error {
 }
 
 // oracleSample exhaustively verifies a sample of each scenario's
-// untestability verdicts on the scenario's own clone.
+// untestability verdicts on the scenario's own clone, expanding every fault
+// through the scenario's site map so multi-frame verdicts are re-proven
+// against the same joint injection the engine searched.
 func oracleSample(r *flow.Report) error {
 	const maxPerScenario = 24
 	for _, sr := range r.Scenarios {
@@ -256,14 +269,18 @@ func oracleSample(r *flow.Report) error {
 				continue
 			}
 			f := sr.Universe.FaultOf(fid)
-			if detectable, w := o.Detectable(f); detectable {
+			if detectable, w := o.DetectableInjection(sr.Sites.Expand(f)); detectable {
 				return fmt.Errorf("selfcheck %q: %s marked untestable but detected by %v",
 					sr.Scenario.Name, sr.Universe.Describe(f), w)
 			}
 			checked++
 		}
-		fmt.Printf("  selfcheck %q: %d untestability verdicts exhaustively confirmed\n",
-			sr.Scenario.Name, checked)
+		mode := "single-site"
+		if !sr.Sites.Empty() {
+			mode = "multi-frame"
+		}
+		fmt.Printf("  selfcheck %q: %d untestability verdicts exhaustively confirmed (%s injection)\n",
+			sr.Scenario.Name, checked, mode)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"olfui/internal/atpg"
 	"olfui/internal/fault"
+	"olfui/internal/flow"
 	"olfui/internal/logic"
 )
 
@@ -41,8 +42,8 @@ func BenchmarkCampaignBench(b *testing.B) {
 	}
 }
 
-// runQuiet runs the flow with stdout silenced (benchmarks should not spam).
-func runQuiet(cfg config) error {
+// quiet runs fn with stdout silenced (tests and benchmarks should not spam).
+func quiet(fn func() error) error {
 	old := os.Stdout
 	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -53,7 +54,12 @@ func runQuiet(cfg config) error {
 		os.Stdout = old
 		null.Close()
 	}()
-	return run(context.Background(), cfg)
+	return fn()
+}
+
+// runQuiet runs the binary's whole path with stdout silenced.
+func runQuiet(cfg config) error {
+	return quiet(func() error { return run(context.Background(), cfg) })
 }
 
 func writeStim(t *testing.T, content string) string {
@@ -111,7 +117,8 @@ seq xor
 }
 
 // TestRunShardedWithPatterns drives the binary's whole path — sharded
-// baseline, three scenarios, pattern import, cross-checks — end to end.
+// baseline, sharded scenarios, multi-frame injection, pattern import,
+// cross-checks, multi-site oracle selfcheck — end to end.
 func TestRunShardedWithPatterns(t *testing.T) {
 	path := writeStim(t, `
 seq add-sweep
@@ -122,8 +129,61 @@ seq xor-walk
 1001000100001
 0110000100001
 `)
-	cfg := config{width: 2, shards: 3, frames: 2, patterns: path, selfcheck: true}
+	cfg := config{width: 2, shards: 3, scenarioShards: 2, frames: 2, patterns: path, selfcheck: true}
 	if err := runQuiet(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// campaignQuiet runs the campaign with stdout silenced and returns the
+// report for comparison.
+func campaignQuiet(t *testing.T, cfg config) *flow.Report {
+	t.Helper()
+	var r *flow.Report
+	err := quiet(func() error {
+		var err error
+		r, err = runCampaign(context.Background(), cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestScenarioShardInvarianceOnBench is the acceptance criterion for
+// scenario sharding: sharded and unsharded ScenarioProvider runs classify
+// every fault of the olfui benchmark identically (absent aborts).
+func TestScenarioShardInvarianceOnBench(t *testing.T) {
+	base := campaignQuiet(t, config{width: 2, frames: 2})
+	sharded := campaignQuiet(t, config{width: 2, frames: 2, scenarioShards: 4})
+	for _, r := range []*flow.Report{base, sharded} {
+		for _, sr := range r.Scenarios {
+			if sr.Outcome.Stats.Aborted != 0 {
+				t.Fatalf("scenario %q aborted %d classes; invariance only holds absent aborts",
+					sr.Scenario.Name, sr.Outcome.Stats.Aborted)
+			}
+		}
+	}
+	if len(base.Class) != len(sharded.Class) {
+		t.Fatalf("universe sizes differ: %d vs %d", len(base.Class), len(sharded.Class))
+	}
+	for id := range base.Class {
+		if base.Class[id] != sharded.Class[id] {
+			t.Errorf("fault %d: %v unsharded vs %v sharded", id, base.Class[id], sharded.Class[id])
+		}
+	}
+	// The unrolled reach scenario must have run under multi-frame injection
+	// in both configurations.
+	for _, r := range []*flow.Report{base, sharded} {
+		var reach *flow.ScenarioResult
+		for _, sr := range r.Scenarios {
+			if sr.Scenario.Name == "mission-reach" {
+				reach = sr
+			}
+		}
+		if reach == nil || reach.Sites.Empty() {
+			t.Fatal("mission-reach scenario did not run under multi-frame injection")
+		}
 	}
 }

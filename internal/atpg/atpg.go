@@ -84,6 +84,28 @@ type Options struct {
 	// the universe's structural collapse (PlanShards guarantees this);
 	// verdicts still spread to all members of the targeted classes.
 	Classes []fault.FID
+	// Sites optionally expands every targeted fault into a joint multi-site
+	// injection (fault.SiteMap.Expand): the stuck value is injected at the
+	// fault's own site and at every replica site simultaneously, and the
+	// engine's verdict — including Untestable, which stays a sound
+	// exhaustion proof — is about that whole injection. This is how a
+	// permanent fault is modeled on a time-expanded (unrolled) clone, where
+	// the defect is present in every frame rather than only the final one.
+	// Nil means classical single-site semantics. GenerateAll's dropping
+	// grader expands through the same map, so simulation and search always
+	// agree on what machine a verdict describes.
+	//
+	// GenerateAll additionally spreads class verdicts over the structural
+	// collapse, which is sound for frame-replica maps (constraint.Unroll):
+	// every collapse rule pairs sites whose replica sets mirror each other
+	// — same-gate rules trivially, fanout-free stem/branch merges because
+	// the clone's fanout counts already include the replica readers, so the
+	// merge only fires where the per-frame copies preserve the
+	// single-reader shape — and machine-identical equivalences compose
+	// site-wise across frames. Hand-built maps that replicate one class
+	// member but not another void that argument; restrict such maps to
+	// Engine.GenerateInjection, which spreads nothing.
+	Sites *fault.SiteMap
 	// Annotations optionally supplies precomputed testability annotations
 	// for the netlist (Netlist.Annotate). They are read-only during
 	// generation, so one Annotate pass can be shared across the engines of
@@ -158,16 +180,27 @@ type Engine struct {
 	obsPin  map[netlist.Pin]bool
 
 	// Per-Generate search state.
-	val        []logic.D5 // per net
-	assigns    []logic.V  // per assignable
-	flt        fault.Fault
-	siteNet    netlist.NetID
-	siteVal    logic.D5
+	val     []logic.D5 // per net
+	assigns []logic.V  // per assignable
+	// The joint injection under search. All sites share one stuck value
+	// (sa); siteNets/siteVals track, per site, the net it sits on and its
+	// implied five-valued value with the injection applied.
+	inj      fault.Injection
+	sa       logic.V
+	siteNets []netlist.NetID
+	siteVals []logic.D5
+	// Injection lookup tables, maintained by setInjection so the per-pin
+	// hot path (pinVal) stays a mask test however many sites the injection
+	// has. injPinWide covers pathological pins >= 64, like obsPin.
+	injOut     []bool   // per gate: output pin stuck
+	injPinMask []uint64 // per gate: stuck input pins < 64
+	injPinWide map[netlist.Pin]bool
 	stack      []decision
 	backtracks int
 
 	dfront  []netlist.GateID
-	visited []bool // per net, X-path DFS scratch
+	visited []bool      // per net, X-path DFS scratch
+	objs    []objective // nextObjectives scratch
 	demand  []objDemand
 	buckets [][]netlist.NetID // multiple-backtrace worklist by level
 }
@@ -194,15 +227,17 @@ func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Optio
 		obs = sim.CombObsPoints(n)
 	}
 	e := &Engine{
-		n:       n,
-		ann:     ann,
-		opts:    opts,
-		pIdx:    make([]int32, len(n.Nets)),
-		obs:     obs,
-		obsMask: make([]uint64, len(n.Gates)),
-		obsPin:  make(map[netlist.Pin]bool),
-		val:     make([]logic.D5, len(n.Nets)),
-		visited: make([]bool, len(n.Nets)),
+		n:          n,
+		ann:        ann,
+		opts:       opts,
+		pIdx:       make([]int32, len(n.Nets)),
+		obs:        obs,
+		obsMask:    make([]uint64, len(n.Gates)),
+		obsPin:     make(map[netlist.Pin]bool),
+		val:        make([]logic.D5, len(n.Nets)),
+		injOut:     make([]bool, len(n.Gates)),
+		injPinMask: make([]uint64, len(n.Gates)),
+		visited:    make([]bool, len(n.Nets)),
 	}
 	for _, p := range obs {
 		if p.Pin < 64 {
@@ -242,11 +277,41 @@ func (e *Engine) addAssignable(net netlist.NetID) {
 	e.assignable = append(e.assignable, net)
 }
 
-// netOfSite returns the net the current fault site sits on.
-func (e *Engine) netOfSite() netlist.NetID {
-	g := &e.n.Gates[e.flt.Gate]
-	if e.flt.Pin == fault.OutputPin {
-		return g.Out
+// setInjection installs the joint injection for the next search, clearing
+// the previous one's lookup entries first (O(sites), not O(gates)).
+func (e *Engine) setInjection(inj fault.Injection) {
+	for _, s := range e.inj.Sites {
+		switch {
+		case s.Pin == fault.OutputPin:
+			e.injOut[s.Gate] = false
+		case s.Pin < 64:
+			e.injPinMask[s.Gate] &^= 1 << uint(s.Pin)
+		default:
+			delete(e.injPinWide, netlist.Pin{Gate: s.Gate, In: s.Pin})
+		}
 	}
-	return g.Ins[e.flt.Pin]
+	e.inj = inj
+	e.sa = inj.SA
+	e.siteNets = e.siteNets[:0]
+	for _, s := range inj.Sites {
+		g := &e.n.Gates[s.Gate]
+		switch {
+		case s.Pin == fault.OutputPin:
+			e.injOut[s.Gate] = true
+			e.siteNets = append(e.siteNets, g.Out)
+		case s.Pin < 64:
+			e.injPinMask[s.Gate] |= 1 << uint(s.Pin)
+			e.siteNets = append(e.siteNets, g.Ins[s.Pin])
+		default:
+			if e.injPinWide == nil {
+				e.injPinWide = map[netlist.Pin]bool{}
+			}
+			e.injPinWide[netlist.Pin{Gate: s.Gate, In: s.Pin}] = true
+			e.siteNets = append(e.siteNets, g.Ins[s.Pin])
+		}
+	}
+	if cap(e.siteVals) < len(inj.Sites) {
+		e.siteVals = make([]logic.D5, len(inj.Sites))
+	}
+	e.siteVals = e.siteVals[:len(inj.Sites)]
 }

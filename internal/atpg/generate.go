@@ -118,10 +118,12 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 		}
 	}
 	status := fault.NewStatusMap(u)
-	// The dropping grader must observe exactly what the engines observe:
-	// under restricted observability a pattern only drops a fault if the
-	// difference shows at a point the scenario can actually see.
-	grader, err := sim.NewGraderObs(n, u, opts.ObsPoints)
+	// The dropping grader must observe exactly what the engines observe and
+	// inject exactly what they inject: under restricted observability a
+	// pattern only drops a fault if the difference shows at a point the
+	// scenario can actually see, and under multi-site injection it must
+	// grade the same joint faulty machine the searches reason about.
+	grader, err := sim.NewGraderSites(n, u, opts.ObsPoints, opts.Sites)
 	if err != nil {
 		return nil, err
 	}

@@ -9,9 +9,13 @@ import (
 )
 
 // imply settles the whole circuit in the five-valued D-calculus from the
-// current input assignments, injecting the target fault at its site. It is a
-// single full levelized pass: implication here is pure forward simulation,
-// with all search intelligence in objective selection and backtracking.
+// current input assignments, injecting the target fault at every one of its
+// sites. It is a single full levelized pass: implication here is pure forward
+// simulation, with all search intelligence in objective selection and
+// backtracking. With a multi-site injection the faulty machine carries the
+// stuck value at all sites at once — the joint fault — so implication,
+// detection and every pruning rule reason about the same machine the grading
+// simulators build.
 func (e *Engine) imply() {
 	// Sources: assigned inputs, ties, flip-flop pseudo-inputs.
 	for i := range e.n.Gates {
@@ -27,8 +31,8 @@ func (e *Engine) imply() {
 		default:
 			continue
 		}
-		if e.flt.Gate == netlist.GateID(i) && e.flt.Pin == fault.OutputPin {
-			v = v.WithFaulty(e.flt.SA)
+		if e.injOut[i] {
+			v = v.WithFaulty(e.sa)
 		}
 		e.val[g.Out] = v
 	}
@@ -38,25 +42,32 @@ func (e *Engine) imply() {
 			continue
 		}
 		v := e.evalGate(gid, g)
-		if e.flt.Gate == gid && e.flt.Pin == fault.OutputPin {
-			v = v.WithFaulty(e.flt.SA)
+		if e.injOut[gid] {
+			v = v.WithFaulty(e.sa)
 		}
 		e.val[g.Out] = v
 	}
-	if e.flt.Pin == fault.OutputPin {
-		e.siteVal = e.val[e.siteNet]
-	} else {
-		e.siteVal = e.pinVal(e.flt.Gate, &e.n.Gates[e.flt.Gate], int(e.flt.Pin))
+	for i, s := range e.inj.Sites {
+		if s.Pin == fault.OutputPin {
+			e.siteVals[i] = e.val[e.siteNets[i]]
+		} else {
+			e.siteVals[i] = e.pinVal(s.Gate, &e.n.Gates[s.Gate], int(s.Pin))
+		}
 	}
 }
 
 // pinVal reads input pin p of gate g with the fault injection applied. Input
 // pin faults affect only this branch of the net, which is exactly the
-// single-stuck-pin semantics.
+// single-stuck-pin semantics — applied site by site, however many sites the
+// injection has.
 func (e *Engine) pinVal(gid netlist.GateID, g *netlist.Gate, p int) logic.D5 {
 	v := e.val[g.Ins[p]]
-	if e.flt.Gate == gid && int(e.flt.Pin) == p {
-		v = v.WithFaulty(e.flt.SA)
+	if p < 64 {
+		if e.injPinMask[gid]&(1<<uint(p)) != 0 {
+			v = v.WithFaulty(e.sa)
+		}
+	} else if e.injPinWide[netlist.Pin{Gate: gid, In: int32(p)}] {
+		v = v.WithFaulty(e.sa)
 	}
 	return v
 }

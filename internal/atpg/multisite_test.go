@@ -1,0 +1,154 @@
+package atpg
+
+import (
+	"testing"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+	"olfui/internal/testutil"
+)
+
+// confirmBySimSites checks a Detected result against the PPSFP grader with
+// the fault expanded through the same site map the engine searched under.
+func confirmBySimSites(t *testing.T, n *netlist.Netlist, u *fault.Universe,
+	f fault.Fault, r Result, sm *fault.SiteMap) {
+	t.Helper()
+	gr, err := sim.NewGraderSites(n, u, nil, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid := u.IDOf(f)
+	det := gr.Grade([]sim.Pattern{r.Pattern}, []sim.Pattern{r.State}, []fault.FID{fid})
+	if !det.Has(fid) {
+		t.Errorf("pattern %v does not detect the joint injection of %s", r.Pattern, u.Describe(f))
+	}
+}
+
+// pairCircuit builds y = op(g0, g1) with both buffers reading input a — the
+// minimal replica structure: g0 stands in for g1's earlier-frame copy.
+func pairCircuit(t *testing.T, xor bool) (*netlist.Netlist, *fault.Universe, fault.Injection) {
+	t.Helper()
+	n := netlist.New("pair")
+	a := n.Input("a")
+	b0 := n.Buf("g0", a)
+	b1 := n.Buf("g1", a)
+	if xor {
+		n.OutputPort("po", n.Xor("y", b0, b1))
+	} else {
+		n.OutputPort("po", n.Or("y", b0, b1))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g0, _ := n.GateByName("g0")
+	g1, _ := n.GateByName("g1")
+	inj := fault.Injection{
+		Sites: []fault.Site{{Gate: g1, Pin: fault.OutputPin}, {Gate: g0, Pin: fault.OutputPin}},
+		SA:    logic.Zero,
+	}
+	return n, fault.NewUniverse(n), inj
+}
+
+// TestGenerateInjectionJointSemantics pins the engine's joint-fault
+// reasoning from both directions, each verdict cross-checked against the
+// exhaustive oracle on the same injection:
+//
+//   - y = OR(g0, g1): each single s-a-0 is masked by the healthy twin
+//     branch (Untestable), but the joint injection kills both branches and
+//     must be Detected;
+//   - y = XOR(g0, g1): each single s-a-0 flips parity (Detected), but the
+//     joint injection self-masks and must be proven Untestable — the proof
+//     is about the whole injection, so treating replicas independently in
+//     any pruning rule would break it.
+func TestGenerateInjectionJointSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		xor        bool
+		wantSingle Verdict
+		wantJoint  Verdict
+	}{
+		{"or-joint-detected", false, Untestable, Detected},
+		{"xor-joint-masked", true, Detected, Untestable},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, u, inj, e := func() (*netlist.Netlist, *fault.Universe, fault.Injection, *Engine) {
+				n, u, inj := pairCircuit(t, tc.xor)
+				e, err := New(n, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return n, u, inj, e
+			}()
+			o, err := testutil.NewOracle(n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, site := range inj.Sites {
+				single := fault.Injection{Sites: []fault.Site{site}, SA: inj.SA}
+				r := e.GenerateInjection(single)
+				if r.Verdict != tc.wantSingle {
+					t.Fatalf("single site %v: %v, want %v", site, r.Verdict, tc.wantSingle)
+				}
+				if det, _ := o.DetectableInjection(single); det != (tc.wantSingle == Detected) {
+					t.Fatalf("oracle disagrees on single site %v", site)
+				}
+			}
+
+			r := e.GenerateInjection(inj)
+			if r.Verdict != tc.wantJoint {
+				t.Fatalf("joint injection: %v, want %v (backtracks=%d)", r.Verdict, tc.wantJoint, r.Backtracks)
+			}
+			if det, _ := o.DetectableInjection(inj); det != (tc.wantJoint == Detected) {
+				t.Fatal("oracle disagrees on the joint injection")
+			}
+			if r.Verdict == Detected {
+				// The engine's pattern must detect the joint fault under
+				// fault simulation with all sites injected.
+				f := u.FaultOf(u.IDOf(fault.Fault{Site: inj.Primary(), SA: inj.SA}))
+				sm := fault.NewSiteMap()
+				sm.AddReplica(inj.Primary().Gate, inj.Sites[1].Gate)
+				confirmBySimSites(t, n, u, f, r, sm)
+			}
+		})
+	}
+}
+
+// TestGenerateExpandsThroughOptionsSites pins that Generate (the fault-level
+// entry point) expands through Options.Sites: the same fault flips verdict
+// when the map adds its replica.
+func TestGenerateExpandsThroughOptionsSites(t *testing.T) {
+	n, _, inj := pairCircuit(t, false) // OR: single masked, joint detected
+	f := fault.Fault{Site: inj.Primary(), SA: inj.SA}
+
+	plain, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := plain.Generate(f); r.Verdict != Untestable {
+		t.Fatalf("no map: %v, want untestable", r.Verdict)
+	}
+
+	sm := fault.NewSiteMap()
+	sm.AddReplica(inj.Primary().Gate, inj.Sites[1].Gate)
+	mapped, err := New(n, Options{Sites: sm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mapped.Generate(f); r.Verdict != Detected {
+		t.Fatalf("with map: %v, want detected", r.Verdict)
+	}
+
+	// Engines are reusable across injections: the map lookup state must be
+	// fully cleared between searches, so the plain engine still proves the
+	// single site untestable after the mapped engine ran — and the mapped
+	// engine reproduces its verdict back-to-back.
+	if r := mapped.Generate(f); r.Verdict != Detected {
+		t.Fatalf("second mapped run: %v, want detected", r.Verdict)
+	}
+	if r := plain.Generate(f); r.Verdict != Untestable {
+		t.Fatalf("second plain run: %v, want untestable", r.Verdict)
+	}
+}

@@ -17,58 +17,101 @@ type objective struct {
 	direct bool
 }
 
-// nextObjective derives the next objective from the implied circuit state, or
-// reports a conflict (ok=false): the current partial assignment provably
-// cannot be extended to a detection.
-func (e *Engine) nextObjective() (objective, bool) {
-	// Phase 1: fault activation. The good-machine value at the site must
-	// become the complement of the stuck-at value — but only if the site
-	// still has an open propagation path; otherwise activating it is
-	// pointless (this is what proves faults in unobservable cones, such as
-	// a dropped carry-out, untestable in constant time).
-	if !e.siteVal.Good.IsKnown() {
-		if !e.sitePathOpen() {
-			return objective{}, false
+// nextObjectives derives candidate objectives from the implied circuit
+// state, in preference order; an empty slice reports a conflict — the
+// current partial assignment provably cannot be extended to a detection of
+// the joint injection. Generate assigns the first candidate whose backtrace
+// reaches a free input; the later candidates keep the search alive when an
+// earlier objective turns out uncontrollable, which matters for multi-site
+// injections: failing to drive one replica site must not condemn the others.
+//
+// Errors (D/D̄) originate only at injection sites — a gate output can carry
+// an error only if an input does, or the output itself is a site with an
+// activated good value — so the conflict rules stay sound proofs:
+//
+//   - a site whose good value is known equal to the stuck value can never
+//     diverge (implication is monotone: known values are final);
+//   - a not-yet-activated site without an X-path to an observation point can
+//     diverge, but never detectably;
+//   - once every site is dead or blocked and the D-frontier has no X-path
+//     left, no extension of the assignment detects the injection.
+func (e *Engine) nextObjectives() []objective {
+	e.objs = e.objs[:0]
+	// Phase 1: no site carries an error yet, hence the faulty machine has
+	// not diverged anywhere. The next goal is activating a site: driving its
+	// good-machine value to the complement of the stuck value — but only
+	// sites with an open propagation path are worth activating (this is
+	// what proves faults in unobservable cones, such as a dropped
+	// carry-out, untestable in constant time).
+	anyErr := false
+	for i := range e.siteVals {
+		if e.siteVals[i].IsError() {
+			anyErr = true
+			break
 		}
-		return objective{net: e.siteNet, v: e.flt.SA.Not()}, true
 	}
-	if e.siteVal.Good == e.flt.SA {
-		return objective{}, false // activation impossible under this assignment
+	if !anyErr {
+		return e.appendActivations()
 	}
-	// Phase 2: the site carries D/D̄. Advance the D-frontier.
+	// Phase 2: a fault effect is in flight. Advance the D-frontier.
 	e.computeFrontier()
-	if len(e.dfront) == 0 {
-		return objective{}, false // every propagation path is blocked
-	}
-	roots := make([]netlist.NetID, 0, len(e.dfront))
-	for _, gid := range e.dfront {
-		roots = append(roots, e.n.Gates[gid].Out)
-	}
-	if !e.xPathFrom(roots) {
-		return objective{}, false // no X-path from the frontier to any observation point
-	}
-	for _, gid := range e.dfront {
-		if obj, ok := e.gateObjective(gid); ok {
-			return obj, true
+	if len(e.dfront) > 0 {
+		roots := make([]netlist.NetID, 0, len(e.dfront))
+		for _, gid := range e.dfront {
+			roots = append(roots, e.n.Gates[gid].Out)
 		}
-	}
-	// No frontier gate offers a direct good-machine objective (this arises
-	// with composite values such as (0,X), where propagation hinges on the
-	// faulty machine alone). Fall back to assigning any free input: the
-	// decision tree still covers the full search space, so soundness and
-	// completeness are preserved, only heuristic quality drops. Dead
-	// (fanout-free) inputs are skipped: they cannot influence any net, so
-	// decisions on them would only double the subtree per dead input.
-	for i, v := range e.assigns {
-		if v == logic.X && !e.deadIn[i] {
-			val := logic.Zero
-			if e.ann.CC1[e.assignable[i]] < e.ann.CC0[e.assignable[i]] {
-				val = logic.One
+		if e.xPathFrom(roots) {
+			for _, gid := range e.dfront {
+				if obj, ok := e.gateObjective(gid); ok {
+					e.objs = append(e.objs, obj)
+					break
+				}
 			}
-			return objective{net: e.assignable[i], v: val, direct: true}, true
+			if len(e.objs) == 0 {
+				// No frontier gate offers a direct good-machine objective
+				// (this arises with composite values such as (0,X), where
+				// propagation hinges on the faulty machine alone). Fall back
+				// to assigning any free input: the decision tree still
+				// covers the full search space, so soundness and
+				// completeness are preserved, only heuristic quality drops.
+				// Dead (fanout-free) inputs are skipped: they cannot
+				// influence any net, so decisions on them would only double
+				// the subtree per dead input.
+				for i, v := range e.assigns {
+					if v == logic.X && !e.deadIn[i] {
+						val := logic.Zero
+						if e.ann.CC1[e.assignable[i]] < e.ann.CC0[e.assignable[i]] {
+							val = logic.One
+						}
+						e.objs = append(e.objs, objective{net: e.assignable[i], v: val, direct: true})
+						break
+					}
+				}
+			}
 		}
 	}
-	return objective{}, false
+	// Not-yet-activated sites are alternative error origins: activating one
+	// can open a fresh propagation path when the current frontier is blocked
+	// or exhausted. For a classical single-site fault no open site remains
+	// after activation, so this preserves the original PODEM behavior.
+	return e.appendActivations()
+}
+
+// appendActivations adds an activation objective for every site whose good
+// value is still unknown and whose local propagation path is open, returning
+// the candidate list. Sites with a known good value need no candidate: known
+// equal to the stuck value means the site can never diverge, known different
+// means it already carries an error and the D-frontier owns propagation.
+func (e *Engine) appendActivations() []objective {
+	for i := range e.inj.Sites {
+		if e.siteVals[i].Good.IsKnown() {
+			continue
+		}
+		if e.sitePathOpenAt(i) {
+			e.objs = append(e.objs, objective{net: e.siteNets[i], v: e.sa.Not()})
+		}
+	}
+	return e.objs
 }
 
 // computeFrontier collects the D-frontier: gates with at least one fault
@@ -102,17 +145,19 @@ func (e *Engine) observable(g netlist.GateID, pin int32) bool {
 	return e.obsPin[netlist.Pin{Gate: g, In: pin}]
 }
 
-// sitePathOpen reports whether the (not yet activated) fault site still has
-// an X-path to an observation point. Before activation no net carries a full
-// fault effect, so any eventual detection path must currently consist of
-// X-bearing nets starting at the site; a blocked site proves the fault
-// untestable under the current assignment without searching activations.
-func (e *Engine) sitePathOpen() bool {
-	g := &e.n.Gates[e.flt.Gate]
-	if e.flt.Pin != fault.OutputPin {
+// sitePathOpenAt reports whether injection site i (not yet activated) still
+// has an X-path to an observation point. Before a site activates, no error
+// originating there is in the circuit, so any eventual detection path through
+// it must currently consist of X-bearing nets starting at the site; a blocked
+// site proves that site cannot contribute a detection under the current
+// assignment without searching activations.
+func (e *Engine) sitePathOpenAt(i int) bool {
+	s := e.inj.Sites[i]
+	g := &e.n.Gates[s.Gate]
+	if s.Pin != fault.OutputPin {
 		// A pin fault propagates only through its own gate; the pin may
 		// itself be an observation point.
-		if e.observable(e.flt.Gate, e.flt.Pin) {
+		if e.observable(s.Gate, s.Pin) {
 			return true
 		}
 		switch g.Kind {
@@ -126,7 +171,7 @@ func (e *Engine) sitePathOpen() bool {
 		}
 		return e.xPathFrom([]netlist.NetID{g.Out})
 	}
-	return e.xPathFrom([]netlist.NetID{e.siteNet})
+	return e.xPathFrom([]netlist.NetID{e.siteNets[i]})
 }
 
 // xPathFrom reports whether any root net still has a path of X-bearing nets

@@ -6,13 +6,28 @@ import (
 	"olfui/internal/sim"
 )
 
-// Generate runs the PODEM search for one fault and returns its verdict. A
-// Detected result carries the generated pattern; an Untestable result is a
-// proof (the full decision tree over the controllable inputs was exhausted
-// under sound pruning); Aborted means the backtrack limit was hit first.
+// Generate runs the PODEM search for one fault, expanded through
+// Options.Sites into its joint multi-site injection (single-site when no
+// site map is configured), and returns its verdict. A Detected result
+// carries the generated pattern; an Untestable result is a proof (the full
+// decision tree over the controllable inputs was exhausted under sound
+// pruning); Aborted means the backtrack limit was hit first.
 func (e *Engine) Generate(f fault.Fault) Result {
-	e.flt = f
-	e.siteNet = e.netOfSite()
+	return e.GenerateInjection(e.opts.Sites.Expand(f))
+}
+
+// GenerateInjection runs the PODEM search for an explicit joint injection:
+// the stuck value is present at every site of the injection simultaneously,
+// and the verdict is about that whole faulty machine. The injection must
+// have at least one site and a known stuck value.
+func (e *Engine) GenerateInjection(inj fault.Injection) Result {
+	if len(inj.Sites) == 0 {
+		panic("atpg: injection with no sites")
+	}
+	if !inj.SA.IsKnown() {
+		panic("atpg: injection stuck value must be 0 or 1")
+	}
+	e.setInjection(inj)
 	for i := range e.assigns {
 		e.assigns[i] = logic.X
 	}
@@ -33,11 +48,12 @@ func (e *Engine) Generate(f fault.Fault) Result {
 			}
 		}
 		advanced := false
-		if obj, ok := e.nextObjective(); ok {
+		for _, obj := range e.nextObjectives() {
 			if idx, v, ok := e.backtrace(obj); ok {
 				e.assigns[idx] = v
 				e.stack = append(e.stack, decision{idx: idx, val: v})
 				advanced = true
+				break
 			}
 		}
 		if !advanced {

@@ -20,6 +20,26 @@
 // transform is configurable beyond this guarantee (see Unroll.ResetInit) the
 // caveat is documented at the option.
 //
+// # Multi-frame fault injection
+//
+// Transforms that replicate original gates — Unroll's Frames-1 time-frame
+// copies — implement SiteMapper and record each original gate's replicas in
+// a fault.SiteMap (collect it with ApplyMapped). A permanent stuck-at is
+// present in every clock cycle, so on a time-expanded clone the faithful
+// model injects the stuck value at the original site and at every frame
+// replica simultaneously; the ATPG engine, the grading simulators and the
+// exhaustive oracle all accept the map and reason about that joint
+// injection, making Untestable a proof about the permanent fault rather
+// than about a fault that winks into existence in the final frame.
+//
+// Discarding the map (plain Apply) falls back to final-frame-only injection
+// — the classical single-observation-time approximation. It remains useful
+// as a cheaper model when the fault's cone does not reach state feeding the
+// final frame (the two models coincide there), but it both misses detection
+// paths through earlier frames and ignores earlier-frame divergence that can
+// mask the final-frame effect, so its verdicts are statements about the
+// approximated model, not about the permanent fault.
+//
 // # Stem attribution on rewired nets
 //
 // Rewiring the readers of a net (Tie, OneHot) leaves the original driver
@@ -38,6 +58,7 @@ import (
 	"fmt"
 	"strings"
 
+	"olfui/internal/fault"
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
 	"olfui/internal/sim"
@@ -51,10 +72,45 @@ type Transform interface {
 	Apply(c *netlist.Netlist) error
 }
 
-// Apply runs a list of transforms in order and validates the result.
+// SiteMapper is a Transform that replicates original gates and can record
+// the replicas in a fault.SiteMap, so faults enumerated on the transformed
+// clone expand to joint multi-site injections (one per replica plus the
+// original). ApplySites with a nil map must behave exactly like Apply.
+// Transforms stay stateless: the map belongs to the caller, which keeps a
+// shared Scenario value safe to apply to any number of clones concurrently.
+type SiteMapper interface {
+	Transform
+	ApplySites(c *netlist.Netlist, sm *fault.SiteMap) error
+}
+
+// Apply runs a list of transforms in order and validates the result,
+// discarding any replica site maps (single-site fault semantics).
 func Apply(c *netlist.Netlist, ts ...Transform) error {
+	return applyInto(c, nil, ts)
+}
+
+// ApplyMapped runs a list of transforms in order, validates the result, and
+// returns the merged replica site map recorded by the SiteMapper transforms
+// among them. The map is empty (but non-nil) when no transform replicates
+// gates; Empty() distinguishes the two so callers can skip multi-site
+// machinery on purely combinational constraint stacks.
+func ApplyMapped(c *netlist.Netlist, ts ...Transform) (*fault.SiteMap, error) {
+	sm := fault.NewSiteMap()
+	if err := applyInto(c, sm, ts); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+func applyInto(c *netlist.Netlist, sm *fault.SiteMap, ts []Transform) error {
 	for _, t := range ts {
-		if err := t.Apply(c); err != nil {
+		var err error
+		if ms, ok := t.(SiteMapper); ok {
+			err = ms.ApplySites(c, sm)
+		} else {
+			err = t.Apply(c)
+		}
+		if err != nil {
 			return fmt.Errorf("constraint %s: %w", t.Describe(), err)
 		}
 	}

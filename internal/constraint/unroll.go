@@ -3,6 +3,7 @@ package constraint
 import (
 	"fmt"
 
+	"olfui/internal/fault"
 	"olfui/internal/netlist"
 )
 
@@ -21,8 +22,19 @@ const CaptureGroup = "unroll_captures"
 // With the default free initial state this over-approximates mission
 // reachability (every mission state at cycle t >= Frames-1 is the image of
 // Frames-1 functional steps from *some* state), so Untestable verdicts remain
-// sound mission evidence. Frame copies are synthetic: the fault is modeled in
-// the final frame only, the standard single-observation-time approximation.
+// sound mission evidence.
+//
+// Frame copies are synthetic, so they contribute no fault sites of their own
+// — but a permanent stuck-at is present in *every* clock cycle, and Unroll
+// records each original gate's per-frame copies in the fault.SiteMap it is
+// handed (ApplySites, surfaced through ApplyMapped). Expanding a fault
+// through that map injects the stuck value at the original site and at every
+// frame replica simultaneously, which is the faithful model of a permanent
+// defect on the time-expanded circuit. Without the map (plain Apply, or
+// ignoring it) the fault exists in the final frame only — the classical
+// single-observation-time approximation, which mis-models faults whose only
+// detection paths run through earlier frames, or whose earlier-frame
+// divergence masks the final-frame effect.
 //
 // Faults on the tombstoned flip-flop gates themselves do not exist on the
 // unrolled clone and receive no verdict from this scenario; the flow reports
@@ -48,8 +60,17 @@ func (u Unroll) Describe() string {
 	return fmt.Sprintf("unroll(frames=%d,init=%s)", u.Frames, init)
 }
 
-// Apply implements Transform.
-func (u Unroll) Apply(c *netlist.Netlist) error {
+// Apply implements Transform, discarding the replica site map (single-site,
+// final-frame-only fault semantics). Prefer ApplyMapped/ApplySites wherever
+// faults will be injected on the unrolled clone.
+func (u Unroll) Apply(c *netlist.Netlist) error { return u.ApplySites(c, nil) }
+
+// ApplySites implements SiteMapper: it unrolls the clone and records every
+// original gate's per-frame combinational copy (and every primary input's
+// per-frame synthetic input) as replicas in sm, so faults enumerated on the
+// clone expand to multi-frame injections. Replicas are recorded only for
+// non-synthetic originals — synthetic gates contribute no fault sites.
+func (u Unroll) ApplySites(c *netlist.Netlist, sm *fault.SiteMap) error {
 	if u.Frames < 1 {
 		return fmt.Errorf("frames must be >= 1, got %d", u.Frames)
 	}
@@ -57,6 +78,9 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 	if len(ffs) == 0 {
 		return fmt.Errorf("netlist %q has no flip-flops to unroll", c.Name)
 	}
+	// One levelization serves every frame: the copies preserve the original
+	// gates' topological order, so the per-frame append loop below can walk
+	// the same order Frames-1 times.
 	order, err := c.Levelize()
 	if err != nil {
 		return err
@@ -68,6 +92,33 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 	for i, f := range ffs {
 		ffIdx[f] = i
 	}
+
+	// The appended volume is known up front: per earlier frame, one
+	// synthetic input per live primary input, one copy per non-output gate
+	// of the levelized order, and one next-state AND per KDFFR; per
+	// flip-flop, at most one free initial-state input (or, with ResetInit,
+	// one shared reset tie), one capture probe and one splice buffer
+	// (splices reuse the existing output net). Reserving once avoids the
+	// append growth doublings on the gate and net tables.
+	livePIs, combCopies, dffrs := 0, 0, 0
+	for gi := 0; gi < numGates; gi++ {
+		switch g := c.Gate(netlist.GateID(gi)); g.Kind {
+		case netlist.KInput:
+			if len(c.Net(g.Out).Fanout) > 0 {
+				livePIs++
+			}
+		case netlist.KDFFR:
+			dffrs++
+		}
+	}
+	for _, gid := range order {
+		if c.Gate(gid).Kind != netlist.KOutput {
+			combCopies++
+		}
+	}
+	perFrame := livePIs + combCopies + dffrs
+	extraGates := (u.Frames-1)*perFrame + 3*len(ffs) + 1
+	c.Reserve(extraGates, extraGates)
 
 	// state[i] is the net carrying flip-flop i's output value entering the
 	// frame currently being built.
@@ -83,9 +134,11 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 		}
 	}
 
+	// nmap translates a pre-unroll net to its copy in the frame currently
+	// being built; ins is the per-gate input scratch (AddGate copies it).
+	nmap := make([]netlist.NetID, numNets)
+	var ins []netlist.NetID
 	for frame := 0; frame < u.Frames-1; frame++ {
-		// nmap translates a pre-unroll net to its copy in this frame.
-		nmap := make([]netlist.NetID, numNets)
 		for i := range nmap {
 			nmap[i] = netlist.InvalidNet
 		}
@@ -95,7 +148,11 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 			switch g.Kind {
 			case netlist.KInput:
 				if len(c.Net(g.Out).Fanout) > 0 {
-					nmap[g.Out] = c.AddSyntheticInput(fmt.Sprintf("%s_f%d_%s", prefix, frame, g.Name))
+					in := c.AddSyntheticInput(fmt.Sprintf("%s_f%d_%s", prefix, frame, g.Name))
+					nmap[g.Out] = in
+					if g.Flags&netlist.FSynthetic == 0 {
+						sm.AddReplica(netlist.GateID(gi), c.Net(in).Driver)
+					}
 				}
 			case netlist.KTie0, netlist.KTie1:
 				nmap[g.Out] = g.Out // constants are frame-invariant
@@ -116,15 +173,17 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 			if g.Kind == netlist.KOutput {
 				continue // earlier frames are not observed
 			}
-			ins := make([]netlist.NetID, len(g.Ins))
-			for p, in := range g.Ins {
-				ins[p] = resolve(in)
+			ins = ins[:0]
+			for _, in := range g.Ins {
+				ins = append(ins, resolve(in))
 			}
 			ng := c.AddSyntheticGate(g.Kind, fmt.Sprintf("%s_f%d_%s", prefix, frame, g.Name), ins...)
 			nmap[g.Out] = c.Gates[ng].Out
+			if g.Flags&netlist.FSynthetic == 0 {
+				sm.AddReplica(gid, ng)
+			}
 		}
 		// Next-state function of this frame feeds the following one.
-		next := make([]netlist.NetID, len(ffs))
 		for i, f := range ffs {
 			g := c.Gate(f)
 			d := resolve(g.Ins[netlist.DffD])
@@ -135,9 +194,8 @@ func (u Unroll) Apply(c *netlist.Netlist) error {
 				d = c.Gates[c.AddSyntheticGate(netlist.KAnd,
 					fmt.Sprintf("%s_f%d_ns_%s", prefix, frame, g.Name), rstn, d)].Out
 			}
-			next[i] = d
+			state[i] = d
 		}
-		state = next
 	}
 
 	// Capture probes: the final frame's next-state values ARE observed in

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// Injection is one logical stuck-at fault realized at one or more sites
+// simultaneously: every site is pinned to the same stuck value in the faulty
+// machine. A classical single stuck-at is the one-site special case; the
+// multi-site case models a permanent defect on a time-expanded (unrolled)
+// clone, where the physical fault location is replicated once per frame and
+// the fault is present in every clock cycle at once. Engines that accept an
+// Injection — the PODEM search, the fault-grading simulators, the exhaustive
+// oracle — treat the site set as one joint fault: a verdict (Detected,
+// Untestable) is a statement about the whole injection, never about a single
+// replica in isolation.
+type Injection struct {
+	// Sites holds the injection sites, the primary site first. All engines
+	// require at least one site.
+	Sites []Site
+	// SA is the stuck value shared by every site.
+	SA logic.V
+}
+
+// Injection wraps a classical fault as a one-site injection.
+func (f Fault) Injection() Injection {
+	return Injection{Sites: []Site{f.Site}, SA: f.SA}
+}
+
+// Primary returns the injection's primary site — for SiteMap expansions, the
+// site on the original (final-frame) gate the fault ID is enumerated on.
+func (i Injection) Primary() Site { return i.Sites[0] }
+
+// SiteMap records, for a transformed clone, the replica gates of each
+// original gate — the per-frame combinational copies a time-expansion
+// transform (constraint.Unroll) appends. A fault site on an original gate
+// expands to the same pin on every replica, which is how a permanent stuck-at
+// is modeled in every frame of the unrolled circuit rather than only the
+// final one.
+//
+// Replicas must accept the same pin indices as their original: Unroll
+// guarantees this by copying gates kind-for-kind (a primary input's replica
+// is a synthetic input, matching the original's pin-free shape).
+//
+// All methods are nil-safe: a nil *SiteMap is the identity map, under which
+// every fault expands to its classical single-site injection. APIs therefore
+// take a *SiteMap and treat nil as "single-site semantics".
+type SiteMap struct {
+	replicas map[netlist.GateID][]netlist.GateID
+	count    int
+}
+
+// NewSiteMap returns an empty site map.
+func NewSiteMap() *SiteMap {
+	return &SiteMap{replicas: map[netlist.GateID][]netlist.GateID{}}
+}
+
+// AddReplica records rep as a replica of orig. No-op on a nil map, so
+// transforms can record unconditionally whether or not a caller asked for the
+// map.
+func (m *SiteMap) AddReplica(orig, rep netlist.GateID) {
+	if m == nil {
+		return
+	}
+	m.replicas[orig] = append(m.replicas[orig], rep)
+	m.count++
+}
+
+// Replicas returns the replica gates of orig, in recording order (frame
+// order for Unroll). Nil for unreplicated gates and on a nil map.
+func (m *SiteMap) Replicas(orig netlist.GateID) []netlist.GateID {
+	if m == nil {
+		return nil
+	}
+	return m.replicas[orig]
+}
+
+// Len returns the total number of recorded replica entries (0 on nil).
+func (m *SiteMap) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.count
+}
+
+// Empty reports whether the map records no replicas (true on nil).
+func (m *SiteMap) Empty() bool { return m.Len() == 0 }
+
+// ExpandSite returns the site itself followed by its replica sites (the same
+// pin on every replica gate). On a nil map it returns just the site.
+func (m *SiteMap) ExpandSite(s Site) []Site {
+	reps := m.Replicas(s.Gate)
+	out := make([]Site, 0, 1+len(reps))
+	out = append(out, s)
+	for _, g := range reps {
+		out = append(out, Site{Gate: g, Pin: s.Pin})
+	}
+	return out
+}
+
+// Expand returns the joint injection realizing f at its site and at every
+// replica site. On a nil map this is f.Injection().
+func (m *SiteMap) Expand(f Fault) Injection {
+	return Injection{Sites: m.ExpandSite(f.Site), SA: f.SA}
+}

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"testing"
+
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+func TestSiteMapNilIsIdentity(t *testing.T) {
+	var sm *SiteMap
+	if !sm.Empty() || sm.Len() != 0 {
+		t.Fatalf("nil map: Empty=%v Len=%d", sm.Empty(), sm.Len())
+	}
+	sm.AddReplica(1, 2) // must not panic
+	if got := sm.Replicas(1); got != nil {
+		t.Fatalf("nil map replicas = %v", got)
+	}
+	f := Fault{Site: Site{Gate: 3, Pin: OutputPin}, SA: logic.One}
+	inj := sm.Expand(f)
+	if len(inj.Sites) != 1 || inj.Sites[0] != f.Site || inj.SA != logic.One {
+		t.Fatalf("nil map expansion = %+v", inj)
+	}
+	if inj.Primary() != f.Site {
+		t.Fatalf("primary site = %v", inj.Primary())
+	}
+}
+
+func TestSiteMapExpand(t *testing.T) {
+	sm := NewSiteMap()
+	orig := netlist.GateID(4)
+	sm.AddReplica(orig, 10)
+	sm.AddReplica(orig, 17)
+	sm.AddReplica(9, 11)
+	if sm.Empty() || sm.Len() != 3 {
+		t.Fatalf("Empty=%v Len=%d, want false/3", sm.Empty(), sm.Len())
+	}
+
+	f := Fault{Site: Site{Gate: orig, Pin: 1}, SA: logic.Zero}
+	inj := sm.Expand(f)
+	want := []Site{{orig, 1}, {10, 1}, {17, 1}}
+	if len(inj.Sites) != len(want) {
+		t.Fatalf("expanded to %d sites, want %d", len(inj.Sites), len(want))
+	}
+	for i, s := range want {
+		if inj.Sites[i] != s {
+			t.Errorf("site %d = %v, want %v", i, inj.Sites[i], s)
+		}
+	}
+	if inj.Primary() != f.Site {
+		t.Errorf("primary = %v, want the original site first", inj.Primary())
+	}
+
+	// Unreplicated gates expand to themselves.
+	single := sm.Expand(Fault{Site: Site{Gate: 2, Pin: OutputPin}, SA: logic.One})
+	if len(single.Sites) != 1 || single.Sites[0].Gate != 2 {
+		t.Fatalf("unreplicated expansion = %+v", single)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	f := Fault{Site: Site{Gate: 7, Pin: 2}, SA: logic.One}
+	inj := f.Injection()
+	if len(inj.Sites) != 1 || inj.Sites[0] != f.Site || inj.SA != f.SA {
+		t.Fatalf("single-site injection = %+v", inj)
+	}
+}
+
+func TestStatusMapOverlay(t *testing.T) {
+	n := netlist.New("ov")
+	a := n.Input("a")
+	n.OutputPort("po", n.Not("inv", a))
+	u := NewUniverse(n)
+	dst, src := NewStatusMap(u), NewStatusMap(u)
+	dst.Set(0, Detected)
+	src.Set(1, Untestable)
+	src.Set(2, Aborted)
+	dst.Overlay(src)
+	for id, want := range map[FID]Status{0: Detected, 1: Untestable, 2: Aborted} {
+		if got := dst.Get(id); got != want {
+			t.Errorf("fault %d: %v, want %v", id, got, want)
+		}
+	}
+}

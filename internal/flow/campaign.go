@@ -50,8 +50,9 @@ type Env struct {
 	N        *netlist.Netlist
 	Universe *fault.Universe
 	// ATPG configures the provider's engines; Workers is this provider's
-	// share of the campaign budget. ObsPoints and Classes arrive nil —
-	// providers select their own observation and class subset.
+	// share of the campaign budget. ObsPoints, Classes and Sites arrive nil
+	// — providers select their own observation points, class subset and
+	// injection site map.
 	ATPG atpg.Options
 }
 
@@ -166,6 +167,12 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 	}
 	if c.opts.ATPG.Classes != nil {
 		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Classes must be nil; providers select classes")
+	}
+	if c.opts.ATPG.Sites != nil {
+		// Site maps are per-netlist artifacts of a provider's own transform
+		// stack; a campaign-level map would be applied to every provider's
+		// (differently shaped) netlist.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Sites must be nil; providers derive their own site maps")
 	}
 	if c.opts.ATPG.Annotations != nil {
 		// Annotations are per-netlist; scenario providers run on transformed

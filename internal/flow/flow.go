@@ -88,6 +88,12 @@ type ScenarioResult struct {
 	// synthetic gates contribute no sites, so its dense numbering differs
 	// from the original's; fault.Project bridges the two).
 	Universe *fault.Universe
+	// Sites is the replica site map the scenario's verdicts were proven
+	// under: non-nil for time-expanded scenarios, where every fault was
+	// injected jointly at its site and at all frame replicas (multi-frame
+	// injection). Independent re-verification — grading, the exhaustive
+	// oracle — must expand faults through the same map.
+	Sites *fault.SiteMap
 	// Obs is the scenario's observation-point set on the clone.
 	Obs []sim.ObsPoint
 	// Outcome is the ATPG result against Universe.
@@ -131,6 +137,12 @@ type Options struct {
 	// Shards splits the full-scan baseline into this many independently
 	// streamed shards (fault.PlanShards); 0 or 1 means unsharded.
 	Shards int
+	// ScenarioShards splits every scenario's constrained-clone class list
+	// into this many independently streamed shard providers (each plans the
+	// same deterministic fault.PlanShards partition on its own clone); 0 or
+	// 1 means one provider per scenario. Classification is shard-count-
+	// invariant up to Aborted verdicts, exactly like baseline sharding.
+	ScenarioShards int
 	// Patterns are externally produced mission stimuli graded by a
 	// PatternProvider alongside the ATPG providers.
 	Patterns []PatternSet
@@ -157,6 +169,9 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	}
 	if opts.ATPG.Classes != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Classes must be nil; the baseline shard plan selects classes")
+	}
+	if opts.ATPG.Sites != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Sites must be nil; scenarios derive their own site maps")
 	}
 	if opts.ATPG.Annotations != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Annotations must be nil; providers annotate their own netlists")
@@ -193,11 +208,13 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 			return nil, err
 		}
 	}
-	scps := make([]*ScenarioProvider, len(scenarios))
+	scps := make([][]*ScenarioProvider, len(scenarios))
 	for i, sc := range scenarios {
-		scps[i] = &ScenarioProvider{Scenario: sc}
-		if err := c.Add(scps[i]); err != nil {
-			return nil, err
+		scps[i] = NewScenarioProviders(sc, opts.ScenarioShards)
+		for _, p := range scps[i] {
+			if err := c.Add(p); err != nil {
+				return nil, err
+			}
 		}
 	}
 	var pp *PatternProvider
@@ -222,8 +239,8 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		evidence: make([]int32, u.NumFaults()),
 	}
 	r.Scenarios = make([]*ScenarioResult, len(scps))
-	for i, p := range scps {
-		r.Scenarios[i] = p.Result
+	for i, ps := range scps {
+		r.Scenarios[i] = MergeScenarioResults(ps)
 	}
 	if pp != nil {
 		r.PatternDetected = pp.Detected

@@ -82,7 +82,7 @@ func TestAcceptanceOnlineObservation(t *testing.T) {
 	// Oracle confirmation of EVERY untestability verdict the scenario
 	// emitted (on the scenario's own clone, universe and obs points).
 	for _, sr := range r.Scenarios {
-		if err := testutil.VerifyUntestable(sr.Universe, sr.Outcome.Status, sr.Obs); err != nil {
+		if err := testutil.VerifyUntestableSites(sr.Universe, sr.Outcome.Status, sr.Obs, sr.Sites); err != nil {
 			t.Errorf("scenario %q: %v", sr.Scenario.Name, err)
 		}
 	}
@@ -139,7 +139,7 @@ func TestFlowMissionScenarioStack(t *testing.T) {
 		t.Errorf("adder sum fault: %v, want full-scan-testable", got)
 	}
 	for _, sr := range r.Scenarios {
-		if err := testutil.VerifyUntestable(sr.Universe, sr.Outcome.Status, sr.Obs); err != nil {
+		if err := testutil.VerifyUntestableSites(sr.Universe, sr.Outcome.Status, sr.Obs, sr.Sites); err != nil {
 			t.Errorf("scenario %q: %v", sr.Scenario.Name, err)
 		}
 	}
@@ -172,7 +172,7 @@ func TestFlowPropertyRandom(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for _, sr := range r.Scenarios {
-			if err := testutil.VerifyUntestable(sr.Universe, sr.Outcome.Status, sr.Obs); err != nil {
+			if err := testutil.VerifyUntestableSites(sr.Universe, sr.Outcome.Status, sr.Obs, sr.Sites); err != nil {
 				t.Errorf("seed %d scenario %q: %v", seed, sr.Scenario.Name, err)
 			}
 		}

@@ -3,6 +3,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -188,12 +189,84 @@ func MergeOutcomes(ps []*BaselineProvider, merged *fault.StatusMap) *atpg.Outcom
 // detections would manufacture conflicts out of the modeling convention.
 type ScenarioProvider struct {
 	Scenario Scenario
+	// ShardIndex/ShardOf select one shard of the deterministic
+	// fault.PlanShards plan over the constrained clone's collapsed class
+	// list; ShardOf <= 1 targets every class. The shards of one scenario
+	// partition its class list exactly like baseline shards partition the
+	// original universe's, which is what keeps one huge scenario from
+	// bounding campaign latency: its class list streams from ShardOf
+	// concurrent providers instead of one.
+	ShardIndex, ShardOf int
+	// prep shares the constrained clone, universe, site map, annotations
+	// and shard plan across the providers of one shard group
+	// (NewScenarioProviders wires one in): the clone is read-only during
+	// generation — the same contract that lets baseline shards share env.N
+	// and one Annotate pass — so only the first Run to arrive pays for the
+	// transform stack. Nil (struct-literal construction) builds privately.
+	prep *scenarioPrep
 	// Result holds everything proven on the clone after a successful Run.
 	Result *ScenarioResult
 }
 
+// NewScenarioProviders plans k shard providers over one scenario, sharing
+// one clone preparation across them. k < 1 is treated as 1; a single
+// provider targets every class.
+func NewScenarioProviders(sc Scenario, k int) []*ScenarioProvider {
+	if k < 1 {
+		k = 1
+	}
+	prep := &scenarioPrep{}
+	ps := make([]*ScenarioProvider, k)
+	for i := range ps {
+		ps[i] = &ScenarioProvider{Scenario: sc, ShardIndex: i, ShardOf: k, prep: prep}
+	}
+	return ps
+}
+
+// scenarioPrep is the once-per-scenario constrained-clone state shard
+// providers share. Everything here is read-only after build: concurrent
+// GenerateAll runs recompute their own (path-compressing) collapse, and the
+// shard plan is computed once here instead of per provider.
+type scenarioPrep struct {
+	once   sync.Once
+	err    error
+	clone  *netlist.Netlist
+	sm     *fault.SiteMap
+	cu     *fault.Universe
+	ann    *netlist.Annotations
+	shards []fault.Shard
+}
+
+// build constructs the shared state on first call; later callers reuse it.
+func (sp *scenarioPrep) build(env Env, sc Scenario, shardOf int) error {
+	sp.once.Do(func() {
+		clone := env.N.Clone()
+		sm, err := constraint.ApplyMapped(clone, sc.Transforms...)
+		if err != nil {
+			sp.err = err
+			return
+		}
+		cu := fault.NewUniverse(clone)
+		ann, err := clone.Annotate()
+		if err != nil {
+			sp.err = err
+			return
+		}
+		sp.clone, sp.sm, sp.cu, sp.ann = clone, sm, cu, ann
+		if shardOf > 1 {
+			sp.shards = fault.PlanShards(cu, nil, shardOf)
+		}
+	})
+	return sp.err
+}
+
 // Name implements Provider.
-func (p *ScenarioProvider) Name() string { return "scenario:" + p.Scenario.Name }
+func (p *ScenarioProvider) Name() string {
+	if p.ShardOf <= 1 {
+		return "scenario:" + p.Scenario.Name
+	}
+	return fmt.Sprintf("scenario:%s[%d/%d]", p.Scenario.Name, p.ShardIndex+1, p.ShardOf)
+}
 
 // Channel implements Provider.
 func (p *ScenarioProvider) Channel() Channel { return ChannelMission }
@@ -203,11 +276,21 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 	if err := ctx.Err(); err != nil {
 		return err // don't pay for the clone when already cancelled
 	}
-	clone := env.N.Clone()
-	if err := constraint.Apply(clone, p.Scenario.Transforms...); err != nil {
+	if p.prep == nil {
+		p.prep = &scenarioPrep{}
+	}
+	if err := p.prep.build(env, p.Scenario, p.ShardOf); err != nil {
 		return err
 	}
-	cu := fault.NewUniverse(clone)
+	if p.ShardOf > 1 && p.ShardIndex >= len(p.prep.shards) {
+		// Surplus shard of an over-provisioned plan (PlanShards caps the
+		// plan at the class count, never below one shard): nothing to
+		// target, so skip the engine and grader setup entirely. Shard 0
+		// always exists, so MergeScenarioResults still gets the clone
+		// state; a nil Result merges as "no classes".
+		return nil
+	}
+	clone, sm, cu := p.prep.clone, p.prep.sm, p.prep.cu
 	obsFn := p.Scenario.Observe
 	if obsFn == nil {
 		obsFn = constraint.ObserveFullScan
@@ -227,6 +310,20 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 	var emitErr error
 	opts := env.ATPG
 	opts.ObsPoints = obs
+	if !sm.Empty() {
+		// Multi-frame injection is the default for unrolled scenarios: the
+		// permanent fault is injected in every time frame at once, so the
+		// streamed Untestable proofs are about the permanent fault rather
+		// than the final-frame-only approximation.
+		opts.Sites = sm
+	}
+	opts.Annotations = p.prep.ann
+	if p.ShardOf > 1 {
+		// In range by the surplus-shard early return above; PlanShards
+		// hands out non-nil class lists, so an empty shard targets nothing
+		// rather than falling back to "every class".
+		opts.Classes = p.prep.shards[p.ShardIndex].Classes
+	}
 	opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 		if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
 			return
@@ -266,11 +363,55 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 		Scenario:  p.Scenario,
 		Clone:     clone,
 		Universe:  cu,
+		Sites:     opts.Sites,
 		Obs:       obs,
 		Outcome:   out,
 		Projected: projected,
 	}
 	return nil
+}
+
+// MergeScenarioResults folds the per-shard results of one scenario into a
+// fresh ScenarioResult, leaving the shard results untouched (like its
+// sibling MergeOutcomes). The shards share one clone preparation, so their
+// status maps index one universe and — covering disjoint class sets by the
+// shard plan — overlay without arbitration. The merged result keeps shard
+// 0's clone, universe, site map and observation points; surplus shards of an
+// over-provisioned plan carry no Result and merge as "no classes".
+func MergeScenarioResults(ps []*ScenarioProvider) *ScenarioResult {
+	if len(ps) == 0 {
+		return nil
+	}
+	base := ps[0].Result
+	if len(ps) == 1 || base == nil {
+		return base
+	}
+	merged := &ScenarioResult{
+		Scenario: base.Scenario,
+		Clone:    base.Clone,
+		Universe: base.Universe,
+		Sites:    base.Sites,
+		Obs:      base.Obs,
+		Outcome: &atpg.Outcome{
+			Stats:    base.Outcome.Stats,
+			Status:   base.Outcome.Status.Clone(),
+			Patterns: append([]sim.Pattern(nil), base.Outcome.Patterns...),
+			States:   append([]sim.Pattern(nil), base.Outcome.States...),
+		},
+		Projected: base.Projected.Clone(),
+	}
+	for _, p := range ps[1:] {
+		r := p.Result
+		if r == nil {
+			continue
+		}
+		merged.Outcome.Stats.Add(r.Outcome.Stats)
+		merged.Outcome.Patterns = append(merged.Outcome.Patterns, r.Outcome.Patterns...)
+		merged.Outcome.States = append(merged.Outcome.States, r.Outcome.States...)
+		merged.Outcome.Status.Overlay(r.Outcome.Status)
+		merged.Projected.Overlay(r.Projected)
+	}
+	return merged
 }
 
 // PatternSet is one externally produced mission stimulus — an instruction

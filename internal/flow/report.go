@@ -102,8 +102,14 @@ func (r *Report) String() string {
 		for _, t := range sr.Scenario.Transforms {
 			ts = append(ts, t.Describe())
 		}
-		fmt.Fprintf(&b, "  scenario %q [%s] obs=%d: %v\n",
-			sr.Scenario.Name, strings.Join(ts, " "), len(sr.Obs), sr.Outcome.Stats)
+		inj := ""
+		if !sr.Sites.Empty() {
+			// Time-expanded scenario: faults were injected jointly at every
+			// frame replica, so untestability is about the permanent fault.
+			inj = fmt.Sprintf(" inj=multi-frame(%d replicas)", sr.Sites.Len())
+		}
+		fmt.Fprintf(&b, "  scenario %q [%s] obs=%d%s: %v\n",
+			sr.Scenario.Name, strings.Join(ts, " "), len(sr.Obs), inj, sr.Outcome.Stats)
 	}
 	s := r.Summarize()
 	fmt.Fprintf(&b, "  classification: %d full-scan-testable, %d func-untestable (%d of them detected full-scan), %d unresolved\n",

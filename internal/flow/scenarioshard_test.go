@@ -1,0 +1,116 @@
+package flow
+
+import (
+	"testing"
+
+	"olfui/internal/constraint"
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/testutil"
+)
+
+// TestScenarioShardInvariance pins the scenario-sharding contract: splitting
+// every scenario's constrained-clone class list across shard providers (one
+// shared clone preparation per scenario) changes neither the classification
+// nor any scenario's projected verdicts (absent aborts — Detected and
+// Untestable are complete proofs, so the partition cannot flip them), while
+// the merged scenario results still target every class exactly once.
+func TestScenarioShardInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		nl := testutil.RandomNetlist(seed, testutil.RandOpts{Inputs: 4, Gates: 16, FFs: 2, Outputs: 2})
+		scenarios := []Scenario{
+			{Name: "online-obs", Observe: constraint.ObserveOutputs},
+			{
+				Name:       "tied-input",
+				Transforms: []constraint.Transform{constraint.Tie{Net: "i0", Value: logic.Zero}},
+				Observe:    constraint.ObserveOutputs,
+			},
+			{
+				Name:       "reach-2",
+				Transforms: []constraint.Transform{constraint.Unroll{Frames: 2}},
+				Observe:    constraint.ObserveOutputsAndCaptures,
+			},
+		}
+		run := func(shards int) *Report {
+			t.Helper()
+			u := fault.NewUniverse(nl)
+			r, err := Run(nl, u, scenarios, Options{ScenarioShards: shards})
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			for _, sr := range r.Scenarios {
+				if sr.Outcome.Stats.Aborted != 0 {
+					t.Fatalf("seed %d shards %d: scenario %q aborted %d classes; invariance only holds absent aborts",
+						seed, shards, sr.Scenario.Name, sr.Outcome.Stats.Aborted)
+				}
+			}
+			return r
+		}
+
+		base := run(1)
+		sharded := run(3)
+
+		for id := range base.Class {
+			if base.Class[id] != sharded.Class[id] {
+				t.Errorf("seed %d fault %d: classification %v (unsharded) vs %v (3 shards)",
+					seed, id, base.Class[id], sharded.Class[id])
+			}
+		}
+		for si := range base.Scenarios {
+			b, s := base.Scenarios[si], sharded.Scenarios[si]
+			if b.Outcome.Stats.Classes != s.Outcome.Stats.Classes {
+				t.Errorf("seed %d scenario %q: %d classes unsharded vs %d merged from shards",
+					seed, b.Scenario.Name, b.Outcome.Stats.Classes, s.Outcome.Stats.Classes)
+			}
+			for id := 0; id < b.Projected.Len(); id++ {
+				fid := fault.FID(id)
+				if b.Projected.Get(fid) != s.Projected.Get(fid) {
+					t.Errorf("seed %d scenario %q fault %d: projected %v vs %v",
+						seed, b.Scenario.Name, id, b.Projected.Get(fid), s.Projected.Get(fid))
+				}
+			}
+		}
+
+		// Multi-frame injection is the default for the unrolled scenario —
+		// in both sharding modes.
+		for _, r := range []*Report{base, sharded} {
+			if sm := r.Scenarios[2].Sites; sm.Empty() {
+				t.Errorf("seed %d: unrolled scenario carries no site map", seed)
+			}
+			if sm := r.Scenarios[0].Sites; !sm.Empty() {
+				t.Errorf("seed %d: untransformed scenario unexpectedly carries a site map", seed)
+			}
+		}
+	}
+}
+
+// TestScenarioShardOverProvisioning pins the degenerate plans: more shards
+// than the clone has classes must still run (over-indexed providers get an
+// explicit empty class list, not the nil "every class" default), and shard
+// providers must register under unique names.
+func TestScenarioShardOverProvisioning(t *testing.T) {
+	nl := testutil.RandomNetlist(7, testutil.RandOpts{Inputs: 2, Gates: 3, FFs: 1, Outputs: 1})
+	u := fault.NewUniverse(nl)
+	sc := []Scenario{{
+		Name:       "reach",
+		Transforms: []constraint.Transform{constraint.Unroll{Frames: 2}},
+		Observe:    constraint.ObserveOutputsAndCaptures,
+	}}
+	r, err := Run(nl, u, sc, Options{ScenarioShards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(nl, fault.NewUniverse(nl), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Scenarios[0].Outcome.Stats.Classes, r2.Scenarios[0].Outcome.Stats.Classes; got != want {
+		t.Fatalf("over-provisioned shards target %d classes, want %d", got, want)
+	}
+	p, p2 := r.Scenarios[0].Projected, r2.Scenarios[0].Projected
+	for id := 0; id < p.Len(); id++ {
+		if p.Get(fault.FID(id)) != p2.Get(fault.FID(id)) {
+			t.Fatalf("fault %d: projected verdicts differ between 64-shard and unsharded runs", id)
+		}
+	}
+}

@@ -205,6 +205,24 @@ func (n *Netlist) AddGroup(name string, gates ...GateID) {
 	n.Groups[name] = append(n.Groups[name], gates...)
 }
 
+// Reserve grows the gate and net slices' capacity so at least the given
+// number of further gates and nets can be appended without reallocation.
+// Bulk manipulations whose output size is known up front (e.g. time
+// expansion, which appends Frames-1 copies of the combinational logic) call
+// this once instead of paying the append growth doublings.
+func (n *Netlist) Reserve(gates, nets int) {
+	if free := cap(n.Gates) - len(n.Gates); free < gates {
+		grown := make([]Gate, len(n.Gates), len(n.Gates)+gates)
+		copy(grown, n.Gates)
+		n.Gates = grown
+	}
+	if free := cap(n.Nets) - len(n.Nets); free < nets {
+		grown := make([]Net, len(n.Nets), len(n.Nets)+nets)
+		copy(grown, n.Nets)
+		n.Nets = grown
+	}
+}
+
 // NewNet creates a net. An empty name is auto-generated.
 func (n *Netlist) NewNet(name string) NetID {
 	if name == "" {

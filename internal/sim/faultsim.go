@@ -84,6 +84,16 @@ type Stimulus struct {
 // clock edge, every cycle.
 func GradeSeq(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
 	observe []ObsPoint, faults []fault.FID) (*fault.Set, error) {
+	return GradeSeqSites(n, u, stim, observe, faults, nil)
+}
+
+// GradeSeqSites is GradeSeq with each fault expanded through the site map
+// before injection: a fault's lane carries the joint multi-site faulty
+// machine (every replica site stuck at once), which is how a permanent
+// defect on a time-expanded clone is graded. A nil map grades classical
+// single-site faults.
+func GradeSeqSites(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
+	observe []ObsPoint, faults []fault.FID, sm *fault.SiteMap) (*fault.Set, error) {
 
 	detected := fault.NewSet(u)
 	const goodSlot = logic.WordBits - 1
@@ -103,6 +113,10 @@ func GradeSeq(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
 		for lane, fid := range batch {
 			f := u.FaultOf(fid)
 			s.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: 1 << uint(lane)})
+			for _, rep := range sm.Replicas(f.Gate) {
+				s.AddInjection(Injection{
+					Site: fault.Site{Gate: rep, Pin: f.Pin}, SA: f.SA, Mask: 1 << uint(lane)})
+			}
 		}
 		s.ClearState(logic.X)
 

@@ -13,6 +13,7 @@ import (
 type Grader struct {
 	n    *netlist.Netlist
 	u    *fault.Universe
+	sm   *fault.SiteMap
 	good *Simulator
 	bad  *Simulator
 	pis  []netlist.GateID
@@ -23,7 +24,7 @@ type Grader struct {
 // NewGrader builds a grader for the netlist. Detection points are the
 // full-scan observation points (primary outputs and flip-flop D pins).
 func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
-	return NewGraderObs(n, u, nil)
+	return NewGraderSites(n, u, nil, nil)
 }
 
 // NewGraderObs builds a grader detecting only at the given observation
@@ -32,6 +33,16 @@ func NewGrader(n *netlist.Netlist, u *fault.Universe) (*Grader, error) {
 // observability: a pattern may only drop a fault if the difference shows at a
 // point the scenario actually observes.
 func NewGraderObs(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint) (*Grader, error) {
+	return NewGraderSites(n, u, obs, nil)
+}
+
+// NewGraderSites builds a grader that expands each graded fault through the
+// site map before injection: every site of the joint injection is stuck
+// simultaneously in the faulty machine. A nil map is classical single-site
+// grading. Graders used to drop faults for a multi-site ATPG run must share
+// the run's site map for the same reason they share its observation points:
+// detection claims on differently injected machines do not transfer.
+func NewGraderSites(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint, sm *fault.SiteMap) (*Grader, error) {
 	good, err := New(n)
 	if err != nil {
 		return nil, err
@@ -46,6 +57,7 @@ func NewGraderObs(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint) (*Grade
 	return &Grader{
 		n:    n,
 		u:    u,
+		sm:   sm,
 		good: good,
 		bad:  bad,
 		pis:  n.PrimaryInputs(),
@@ -114,9 +126,17 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 		if detected.Has(fid) {
 			continue
 		}
+		// Inject the fault's whole site set — itself plus any replicas —
+		// without materializing an Injection value: this loop runs per live
+		// fault per pattern batch, so the single-site path must stay
+		// allocation-free.
 		f := gr.u.FaultOf(fid)
 		gr.bad.ClearInjections()
 		gr.bad.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+		for _, rep := range gr.sm.Replicas(f.Gate) {
+			gr.bad.AddInjection(Injection{
+				Site: fault.Site{Gate: rep, Pin: f.Pin}, SA: f.SA, Mask: ^uint64(0)})
+		}
 		apply(gr.bad)
 		for _, p := range gr.obs {
 			if gr.good.ObsVal(p).Diff(gr.bad.ObsVal(p)) != 0 {

@@ -96,8 +96,18 @@ func NewOracle(n *netlist.Netlist, obs []sim.ObsPoint) (*Oracle, error) {
 // the faulty machine differ from the good machine at an observation point,
 // and returns a witness assignment (indexed like Controllables) when so.
 func (o *Oracle) Detectable(f fault.Fault) (bool, []logic.V) {
+	return o.DetectableInjection(f.Injection())
+}
+
+// DetectableInjection is Detectable for a joint multi-site injection: the
+// faulty machine carries the stuck value at every site of the injection
+// simultaneously, so the decision is about the whole injection — the
+// brute-force counterpart of the ATPG engine's multi-site verdicts.
+func (o *Oracle) DetectableInjection(inj fault.Injection) (bool, []logic.V) {
 	o.bad.ClearInjections()
-	o.bad.AddInjection(sim.Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+	for _, site := range inj.Sites {
+		o.bad.AddInjection(sim.Injection{Site: site, SA: inj.SA, Mask: ^uint64(0)})
+	}
 	total := uint64(1) << uint(len(o.ctl))
 	for base := uint64(0); base < total; base += logic.WordBits {
 		for j, net := range o.ctl {
@@ -132,20 +142,34 @@ func (o *Oracle) Detectable(f fault.Fault) (bool, []logic.V) {
 // The universe must be enumerated on the netlist the verdicts were proven on
 // (for scenario results, the constrained clone and its clone universe).
 func VerifyUntestable(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint) error {
-	return verifyStatus(u, status, obs, fault.Untestable, false)
+	return verifyStatus(u, status, obs, nil, fault.Untestable, false)
 }
 
 // VerifyDetected cross-checks Detected verdicts: every fault the map marks
 // Detected must be detectable by exhaustive simulation too (the dual
 // direction, catching over-eager detection bookkeeping).
 func VerifyDetected(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint) error {
-	return verifyStatus(u, status, obs, fault.Detected, true)
+	return verifyStatus(u, status, obs, nil, fault.Detected, true)
+}
+
+// VerifyUntestableSites and VerifyDetectedSites are the multi-site variants:
+// every checked fault is expanded through the site map (nil = single-site)
+// into its joint injection before brute-forcing, so verdicts proven under
+// multi-frame injection are re-proven against the same faulty machine.
+func VerifyUntestableSites(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint, sm *fault.SiteMap) error {
+	return verifyStatus(u, status, obs, sm, fault.Untestable, false)
+}
+
+// VerifyDetectedSites is the Detected-direction multi-site cross-check; see
+// VerifyUntestableSites.
+func VerifyDetectedSites(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint, sm *fault.SiteMap) error {
+	return verifyStatus(u, status, obs, sm, fault.Detected, true)
 }
 
 // verifyStatus brute-forces every fault holding the given status and errors
 // unless its exhaustive detectability matches wantDetectable.
 func verifyStatus(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint,
-	st fault.Status, wantDetectable bool) error {
+	sm *fault.SiteMap, st fault.Status, wantDetectable bool) error {
 
 	o, err := NewOracle(u.N, obs)
 	if err != nil {
@@ -157,7 +181,7 @@ func verifyStatus(u *fault.Universe, status *fault.StatusMap, obs []sim.ObsPoint
 			continue
 		}
 		f := u.FaultOf(fid)
-		det, witness := o.Detectable(f)
+		det, witness := o.DetectableInjection(sm.Expand(f))
 		if det == wantDetectable {
 			continue
 		}
