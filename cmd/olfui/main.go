@@ -3,10 +3,12 @@
 // one-hot-decoded operation field, and a write-only trace register — the
 // structures whose faults full-scan ATPG counts as testable although no
 // mission-mode stimulus can expose them. It drives the campaign API —
-// optionally sharding the full-scan baseline (-shards) and grading imported
-// mission stimuli (-patterns) — prints per-scenario ATPG stats, the fault
-// classification, and the coverage-target correction, and exits non-zero if
-// any internal cross-check fails.
+// optionally sharding the full-scan baseline (-shards), sweeping the
+// reach-constrained scenario to adaptively chosen sequential depth (-sweep,
+// -max-frames) and grading imported mission stimuli (-patterns) — prints
+// per-scenario ATPG stats (with a per-depth convergence table for swept
+// scenarios), the fault classification, and the coverage-target correction,
+// and exits non-zero if any internal cross-check fails.
 package main
 
 import (
@@ -34,9 +36,41 @@ type config struct {
 	frames         int
 	shards         int
 	scenarioShards int
+	sweep          bool   // adaptive sequential-depth sweep of the reach scenario
+	maxFrames      int    // sweep depth budget; 0 defaults, implies -sweep when set
 	patterns       string // stimulus file for the pattern-import provider
 	progress       bool
 	selfcheck      bool
+}
+
+// validate rejects inconsistent flag combinations with a one-line error
+// before any netlist, transform or provider work starts.
+func (cfg config) validate() error {
+	if cfg.frames < 1 {
+		return fmt.Errorf("-frames must be >= 1, got %d", cfg.frames)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", cfg.shards)
+	}
+	if cfg.scenarioShards < 1 {
+		return fmt.Errorf("-scenario-shards must be >= 1, got %d", cfg.scenarioShards)
+	}
+	if cfg.maxFrames != 0 && cfg.maxFrames < cfg.frames {
+		return fmt.Errorf("-max-frames (%d) must be >= -frames (%d)", cfg.maxFrames, cfg.frames)
+	}
+	return nil
+}
+
+// sweepBudget resolves the sweep's depth budget: 0 when sweeping is off,
+// -max-frames when set (setting it implies -sweep), -frames+4 otherwise.
+func (cfg config) sweepBudget() int {
+	if cfg.maxFrames > 0 {
+		return cfg.maxFrames
+	}
+	if cfg.sweep {
+		return cfg.frames + 4
+	}
+	return 0
 }
 
 func main() {
@@ -47,7 +81,11 @@ func main() {
 	flag.IntVar(&cfg.frames, "frames", 2, "time frames for the reach-constrained scenario")
 	flag.IntVar(&cfg.shards, "shards", 1, "full-scan baseline shards (streamed and merged)")
 	flag.IntVar(&cfg.scenarioShards, "scenario-shards", 1,
-		"per-scenario constrained-clone class shards (streamed and merged)")
+		"per-scenario constrained-clone class shards (streamed and merged; swept scenarios are not sharded)")
+	flag.BoolVar(&cfg.sweep, "sweep", false,
+		"adaptively deepen the reach scenario frame by frame until its projected untestable set converges")
+	flag.IntVar(&cfg.maxFrames, "max-frames", 0,
+		"depth budget for the sweep (0 = -frames+4); setting it implies -sweep")
 	flag.StringVar(&cfg.patterns, "patterns", "", "mission stimulus file to grade (see cmd/olfui/patterns.go for the format)")
 	flag.BoolVar(&cfg.progress, "progress", false, "print per-provider delta merges and completions")
 	flag.BoolVar(&cfg.selfcheck, "selfcheck", false,
@@ -61,7 +99,7 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config) error {
-	r, err := runCampaign(ctx, cfg)
+	r, sweepChecks, err := runCampaign(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -72,6 +110,9 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	if cfg.selfcheck {
+		for _, line := range sweepChecks {
+			fmt.Println(line)
+		}
 		if err := oracleSample(r); err != nil {
 			return err
 		}
@@ -82,11 +123,15 @@ func run(ctx context.Context, cfg config) error {
 
 // runCampaign assembles the benchmark and its mission scenarios and executes
 // the identification campaign, returning the report for run to render (and
-// for tests to compare across sharding configurations).
-func runCampaign(ctx context.Context, cfg config) (*flow.Report, error) {
+// for tests to compare across sharding and sweep configurations) plus the
+// per-depth sweep selfcheck lines collected while the campaign ran.
+func runCampaign(ctx context.Context, cfg config) (*flow.Report, []string, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
 	n := buildBench(cfg.width)
 	if err := n.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fmt.Println(n.CollectStats())
 	u := fault.NewUniverse(n)
@@ -116,11 +161,16 @@ func runCampaign(ctx context.Context, cfg config) (*flow.Report, error) {
 		ATPG:           atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit},
 		Shards:         cfg.shards,
 		ScenarioShards: cfg.scenarioShards,
+		MaxFrames:      cfg.sweepBudget(),
+	}
+	var sweepChecks []string
+	if cfg.selfcheck && opts.MaxFrames > 0 {
+		opts.SweepOnDepth = sweepSelfcheck(&sweepChecks)
 	}
 	if cfg.patterns != "" {
 		sets, err := loadPatternSets(n, cfg.patterns)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		opts.Patterns = sets
 	}
@@ -134,7 +184,44 @@ func runCampaign(ctx context.Context, cfg config) (*flow.Report, error) {
 		}
 	}
 
-	return flow.RunCampaign(ctx, n, u, scenarios, opts)
+	r, err := flow.RunCampaign(ctx, n, u, scenarios, opts)
+	return r, sweepChecks, err
+}
+
+// sweepSelfcheck builds the per-depth observer -selfcheck wires into a swept
+// campaign: at every depth, a sample of the depth's untestability verdicts is
+// exhaustively re-proven on the live clone under the current multi-frame
+// injection map — synchronously, before the clone is extended further. The
+// summary lines are collected for run to print with the other selfchecks.
+func sweepSelfcheck(lines *[]string) func(string, flow.SweepDepth) error {
+	return func(name string, d flow.SweepDepth) error {
+		if got := len(testutil.Controllables(d.Clone)); got > testutil.MaxExhaustiveInputs {
+			*lines = append(*lines, fmt.Sprintf("  sweep selfcheck %q k=%d: skipped (%d controllables)",
+				name, d.Frames, got))
+			return nil
+		}
+		o, err := testutil.NewOracle(d.Clone, d.Obs)
+		if err != nil {
+			return err
+		}
+		checked := 0
+		for id := 0; id < d.Universe.NumFaults() && checked < maxOracleSamples; id++ {
+			fid := fault.FID(id)
+			if d.Status.Get(fid) != fault.Untestable {
+				continue
+			}
+			f := d.Universe.FaultOf(fid)
+			if detectable, w := o.DetectableInjection(d.Sites.Expand(f)); detectable {
+				return fmt.Errorf("sweep selfcheck %q k=%d: %s marked untestable but detected by %v",
+					name, d.Frames, d.Universe.Describe(f), w)
+			}
+			checked++
+		}
+		*lines = append(*lines, fmt.Sprintf(
+			"  sweep selfcheck %q k=%d: %d untestability verdicts exhaustively confirmed (multi-frame injection)",
+			name, d.Frames, checked))
+		return nil
+	}
 }
 
 // buildBench assembles the benchmark: ALU with one-hot-selected result,
@@ -185,6 +272,10 @@ func buildBench(width int) *netlist.Netlist {
 	dp.RegisterEn(n, "trace", xorv, debugEn, rstn)
 	return n
 }
+
+// maxOracleSamples bounds how many untestability verdicts each exhaustive
+// selfcheck re-proves per scenario or swept depth.
+const maxOracleSamples = 24
 
 // printExamples lists a few faults of the paper's headline category:
 // detected by full-scan ATPG yet functionally untestable.
@@ -252,7 +343,7 @@ func crossCheck(r *flow.Report, u *fault.Universe) error {
 // through the scenario's site map so multi-frame verdicts are re-proven
 // against the same joint injection the engine searched.
 func oracleSample(r *flow.Report) error {
-	const maxPerScenario = 24
+	const maxPerScenario = maxOracleSamples
 	for _, sr := range r.Scenarios {
 		if got := len(testutil.Controllables(sr.Clone)); got > testutil.MaxExhaustiveInputs {
 			fmt.Printf("  selfcheck %q: skipped (%d controllables)\n", sr.Scenario.Name, got)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"olfui/internal/atpg"
@@ -34,7 +35,7 @@ func BenchmarkGenerateAllBench(b *testing.B) {
 // BenchmarkCampaignBench measures the full sharded campaign — baseline
 // shards plus the three scenarios streaming into one merge.
 func BenchmarkCampaignBench(b *testing.B) {
-	cfg := config{width: 4, shards: 4, frames: 2}
+	cfg := config{width: 4, shards: 4, scenarioShards: 1, frames: 2}
 	for i := 0; i < b.N; i++ {
 		if err := runQuiet(cfg); err != nil {
 			b.Fatal(err)
@@ -142,7 +143,7 @@ func campaignQuiet(t *testing.T, cfg config) *flow.Report {
 	var r *flow.Report
 	err := quiet(func() error {
 		var err error
-		r, err = runCampaign(context.Background(), cfg)
+		r, _, err = runCampaign(context.Background(), cfg)
 		return err
 	})
 	if err != nil {
@@ -151,12 +152,85 @@ func campaignQuiet(t *testing.T, cfg config) *flow.Report {
 	return r
 }
 
+// TestFlagValidation pins the up-front flag rejections: each inconsistent
+// combination fails with a one-line error naming the flag, before any
+// transform or provider work starts.
+func TestFlagValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		cfg  config
+		want string
+	}{
+		"frames":          {config{width: 2, frames: 0, shards: 1, scenarioShards: 1}, "-frames"},
+		"shards":          {config{width: 2, frames: 2, shards: 0, scenarioShards: 1}, "-shards"},
+		"scenario-shards": {config{width: 2, frames: 2, shards: 1, scenarioShards: -1}, "-scenario-shards"},
+		"max-frames":      {config{width: 2, frames: 3, shards: 1, scenarioShards: 1, maxFrames: 2}, "-max-frames"},
+	} {
+		_, _, err := runCampaign(context.Background(), tc.cfg)
+		if err == nil {
+			t.Errorf("%s: want rejection", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", name, err, tc.want)
+		}
+	}
+}
+
+// TestRunSweepSelfcheck drives the binary's sweep path end to end: adaptive
+// depth sweep with per-depth exhaustive selfchecks, report table, and the
+// final cross-checks.
+func TestRunSweepSelfcheck(t *testing.T) {
+	cfg := config{width: 1, frames: 2, shards: 1, scenarioShards: 1,
+		sweep: true, maxFrames: 3, selfcheck: true}
+	if err := runQuiet(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepMatchesOneShotOnBench is the acceptance criterion on the olfui
+// benchmark: the sweep's converged report classifies every fault exactly as
+// a one-shot campaign at the sweep's final depth does (absent aborts).
+func TestSweepMatchesOneShotOnBench(t *testing.T) {
+	// Deeper frames need more backtracks than the default limit allows on
+	// the width-2 bench; equality is only claimed absent aborts.
+	swept := campaignQuiet(t, config{width: 2, frames: 2, shards: 1, scenarioShards: 1,
+		sweep: true, maxFrames: 4, limit: 1 << 20})
+	var sw *flow.SweepResult
+	for _, sr := range swept.Scenarios {
+		if sr.Sweep != nil {
+			if sw != nil {
+				t.Fatal("more than one swept scenario")
+			}
+			sw = sr.Sweep
+		}
+	}
+	if sw == nil {
+		t.Fatal("no scenario swept")
+	}
+	oneshot := campaignQuiet(t, config{width: 2, frames: sw.FinalFrames, shards: 1, scenarioShards: 1,
+		limit: 1 << 20})
+	for _, r := range []*flow.Report{swept, oneshot} {
+		for _, sr := range r.Scenarios {
+			if sr.Outcome.Stats.Aborted != 0 {
+				t.Fatalf("scenario %q aborted %d classes; equality only holds absent aborts",
+					sr.Scenario.Name, sr.Outcome.Stats.Aborted)
+			}
+		}
+	}
+	for id := range swept.Class {
+		if swept.Class[id] != oneshot.Class[id] {
+			t.Errorf("fault %d: %v swept vs %v one-shot at k=%d",
+				id, swept.Class[id], oneshot.Class[id], sw.FinalFrames)
+		}
+	}
+}
+
 // TestScenarioShardInvarianceOnBench is the acceptance criterion for
 // scenario sharding: sharded and unsharded ScenarioProvider runs classify
 // every fault of the olfui benchmark identically (absent aborts).
 func TestScenarioShardInvarianceOnBench(t *testing.T) {
-	base := campaignQuiet(t, config{width: 2, frames: 2})
-	sharded := campaignQuiet(t, config{width: 2, frames: 2, scenarioShards: 4})
+	base := campaignQuiet(t, config{width: 2, frames: 2, shards: 1, scenarioShards: 1})
+	sharded := campaignQuiet(t, config{width: 2, frames: 2, shards: 1, scenarioShards: 4})
 	for _, r := range []*flow.Report{base, sharded} {
 		for _, sr := range r.Scenarios {
 			if sr.Outcome.Stats.Aborted != 0 {

@@ -28,6 +28,54 @@ func BenchmarkUnrollApply(b *testing.B) {
 	}
 }
 
+// BenchmarkUnrollExtend measures the incremental step of the depth sweep:
+// extending an already-unrolled clone from 5 to 6 frames plus the
+// append-aware annotation update — the per-depth cost the sweep pays.
+// Compare against BenchmarkUnrollRebuild at the same final depth.
+func BenchmarkUnrollExtend(b *testing.B) {
+	n := testutil.RandomNetlist(42, testutil.RandOpts{Inputs: 16, Gates: 1500, FFs: 32, Outputs: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clone := n.Clone()
+		ur, err := NewUnroller(clone, fault.NewSiteMap(), Unroll{Frames: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ann, err := clone.Annotate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := ur.Extend(); err != nil {
+			b.Fatal(err)
+		}
+		order, from := ur.AnnotationOrder()
+		if _, err := clone.AnnotateAppended(ann, order, from); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnrollRebuild measures the per-depth cost a sweep would pay
+// without the incremental builder: rebuild the 6-frame clone from scratch and
+// re-annotate it — the matched-depth baseline for BenchmarkUnrollExtend.
+func BenchmarkUnrollRebuild(b *testing.B) {
+	n := testutil.RandomNetlist(42, testutil.RandOpts{Inputs: 16, Gates: 1500, FFs: 32, Outputs: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := n.Clone()
+		if _, err := ApplyMapped(clone, Unroll{Frames: 6}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := clone.Annotate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // unrolledBench builds one unrolled clone plus everything a multi-site run
 // needs: the clone universe, the frame-replica site map and the
 // outputs-plus-captures observation set.

@@ -102,7 +102,46 @@ func ApplyMapped(c *netlist.Netlist, ts ...Transform) (*fault.SiteMap, error) {
 	return sm, nil
 }
 
+// BuildUnroller applies a transform stack whose LAST transform is an Unroll
+// and returns the live Unroller handle alongside the merged site map, so the
+// caller can Extend the same clone to deeper frame counts afterwards (the
+// depth sweep's clone preparation). The leading transforms are applied in
+// order exactly like ApplyMapped, the clone is validated at the initial
+// depth, and the returned map already holds the initial frames' replicas.
+func BuildUnroller(c *netlist.Netlist, ts []Transform) (*Unroller, *fault.SiteMap, error) {
+	if len(ts) == 0 {
+		return nil, nil, fmt.Errorf("constraint: empty transform stack")
+	}
+	u, ok := ts[len(ts)-1].(Unroll)
+	if !ok {
+		return nil, nil, fmt.Errorf("constraint: last transform is %s, not an Unroll",
+			ts[len(ts)-1].Describe())
+	}
+	sm := fault.NewSiteMap()
+	if err := applyTransforms(c, sm, ts[:len(ts)-1]); err != nil {
+		return nil, nil, err
+	}
+	ur, err := NewUnroller(c, sm, u)
+	if err != nil {
+		return nil, nil, fmt.Errorf("constraint %s: %w", u.Describe(), err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("constraint: transformed clone invalid: %w", err)
+	}
+	return ur, sm, nil
+}
+
 func applyInto(c *netlist.Netlist, sm *fault.SiteMap, ts []Transform) error {
+	if err := applyTransforms(c, sm, ts); err != nil {
+		return err
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("constraint: transformed clone invalid: %w", err)
+	}
+	return nil
+}
+
+func applyTransforms(c *netlist.Netlist, sm *fault.SiteMap, ts []Transform) error {
 	for _, t := range ts {
 		var err error
 		if ms, ok := t.(SiteMapper); ok {
@@ -113,9 +152,6 @@ func applyInto(c *netlist.Netlist, sm *fault.SiteMap, ts []Transform) error {
 		if err != nil {
 			return fmt.Errorf("constraint %s: %w", t.Describe(), err)
 		}
-	}
-	if err := c.Validate(); err != nil {
-		return fmt.Errorf("constraint: transformed clone invalid: %w", err)
 	}
 	return nil
 }

@@ -30,7 +30,12 @@ func NewCollapse(u *Universe) *Collapse {
 		c.parent[i] = int32(i)
 	}
 	n := u.N
-	for gi := range n.Gates {
+	// The netlist may have grown since enumeration — incremental manipulation
+	// (constraint.Unroller.Extend) appends gates to an already-enumerated
+	// clone. Appended gates are synthetic under the identity contract and
+	// contribute no sites, so bounding both the gate walk and the reader
+	// check below to the enumerated range is exact, not an approximation.
+	for gi := 0; gi < len(u.siteIdx); gi++ {
 		g := &n.Gates[gi]
 		id := netlist.GateID(gi)
 		if u.siteIdx[gi] < 0 {
@@ -75,7 +80,7 @@ func NewCollapse(u *Universe) *Collapse {
 		fo := n.Nets[g.Out].Fanout
 		if len(fo) == 1 {
 			rg := fo[0].Gate
-			if u.siteIdx[rg] >= 0 {
+			if int(rg) < len(u.siteIdx) && u.siteIdx[rg] >= 0 {
 				b0, b1 := u.PinFaults(rg, fo[0].In)
 				if b0 != InvalidFID {
 					c.union(out0, b0)

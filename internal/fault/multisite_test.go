@@ -82,3 +82,84 @@ func TestStatusMapOverlay(t *testing.T) {
 		}
 	}
 }
+
+// TestSiteMapExtensionAppendsPerFrame pins the extension semantics the depth
+// sweep relies on: replicas recorded after an initial build (one Extend's
+// worth per new frame) append AFTER the existing ones, preserving frame
+// order in every expansion, and earlier expansions are not retroactively
+// affected by later growth (ExpandSite snapshots the replica list).
+func TestSiteMapExtensionAppendsPerFrame(t *testing.T) {
+	sm := NewSiteMap()
+	orig := netlist.GateID(3)
+	// Initial 3-frame build: two earlier frames' replicas.
+	sm.AddReplica(orig, 10)
+	sm.AddReplica(orig, 20)
+	f := Fault{Site: Site{Gate: orig, Pin: 0}, SA: logic.Zero}
+	before := sm.Expand(f)
+
+	// Extend to 4 frames: the new frame's replica appends after the rest.
+	sm.AddReplica(orig, 30)
+	if got := len(before.Sites); got != 3 {
+		t.Fatalf("pre-extension expansion grew to %d sites", got)
+	}
+	after := sm.Expand(f)
+	wantGates := []netlist.GateID{orig, 10, 20, 30}
+	if len(after.Sites) != len(wantGates) {
+		t.Fatalf("expanded to %d sites, want %d", len(after.Sites), len(wantGates))
+	}
+	for i, g := range wantGates {
+		if after.Sites[i].Gate != g || after.Sites[i].Pin != 0 {
+			t.Errorf("site %d = %+v, want gate %d pin 0", i, after.Sites[i], g)
+		}
+	}
+	if sm.Len() != 3 {
+		t.Errorf("Len = %d, want 3", sm.Len())
+	}
+
+	// Nil-map identity is preserved under "extension" too: AddReplica stays
+	// a no-op and expansion stays single-site.
+	var nilMap *SiteMap
+	nilMap.AddReplica(orig, 40)
+	if inj := nilMap.Expand(f); len(inj.Sites) != 1 || inj.Sites[0] != f.Site {
+		t.Fatalf("nil map expansion after AddReplica = %+v", inj)
+	}
+}
+
+// TestStatusMapOverlayOverlapResolved pins Overlay's semantics when per-depth
+// maps overlap on already-resolved faults — the shape a sweep's per-depth
+// outcomes have: a fault proven Untestable at one depth re-announced
+// identically by an overlapping map keeps its status, Undetected entries
+// never erase a resolved verdict, and a later non-Undetected entry wins
+// (Overlay is last-writer-wins on resolved faults; use MergeStatus where
+// arbitration is needed).
+func TestStatusMapOverlayOverlapResolved(t *testing.T) {
+	n := netlist.New("ov2")
+	a := n.Input("a")
+	n.OutputPort("po", n.Not("inv", a))
+	u := NewUniverse(n)
+
+	dst, depth2, depth3 := NewStatusMap(u), NewStatusMap(u), NewStatusMap(u)
+	depth2.Set(0, Untestable)
+	depth2.Set(1, Detected)
+	depth2.Set(2, Aborted)
+	// Depth 3 overlaps: re-proves fault 0, leaves fault 1 untargeted
+	// (Undetected), upgrades the aborted fault 2.
+	depth3.Set(0, Untestable)
+	depth3.Set(2, Untestable)
+
+	dst.Overlay(depth2)
+	dst.Overlay(depth3)
+	for id, want := range map[FID]Status{0: Untestable, 1: Detected, 2: Untestable} {
+		if got := dst.Get(id); got != want {
+			t.Errorf("fault %d: %v, want %v", id, got, want)
+		}
+	}
+
+	// Size-mismatched overlays must panic rather than silently misalign.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched overlay: want panic")
+		}
+	}()
+	dst.Overlay(&StatusMap{st: make([]Status, u.NumFaults()+1)})
+}

@@ -31,6 +31,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -100,6 +101,11 @@ type ScenarioResult struct {
 	Outcome *atpg.Outcome
 	// Projected is Outcome.Status translated onto the original universe.
 	Projected *fault.StatusMap
+	// Sweep carries the per-depth record when the scenario ran as an
+	// adaptive depth sweep (Options.MaxFrames); nil otherwise. Clone,
+	// Universe, Sites and Outcome then describe the converged final depth,
+	// with untestability proofs accumulated from every shallower depth.
+	Sweep *SweepResult
 }
 
 // Report is the flow's deliverable.
@@ -143,6 +149,22 @@ type Options struct {
 	// 1 means one provider per scenario. Classification is shard-count-
 	// invariant up to Aborted verdicts, exactly like baseline sharding.
 	ScenarioShards int
+	// MaxFrames enables the adaptive sequential-depth sweep: every scenario
+	// whose transform stack ends in a free-init constraint.Unroll runs as a
+	// SweepProvider, extending one clone preparation from the scenario's
+	// Frames up to this budget and stopping early once the projected
+	// untestable set converges. Must be >= each such scenario's starting
+	// Frames, and at least one scenario must be sweepable (reset-anchored
+	// unrolls are not — see sweepableUnroll — and run as plain scenario
+	// providers). 0 disables sweeping. Swept scenarios are not split by
+	// ScenarioShards — the sweep already serializes depths over one
+	// incrementally extended clone.
+	MaxFrames int
+	// SweepOnDepth, when non-nil, observes every completed depth of every
+	// swept scenario (see SweepProvider.OnDepth); a non-nil return fails
+	// the campaign. Calls are serialized across concurrently swept
+	// scenarios, so the callback may touch shared state without locking.
+	SweepOnDepth func(scenario string, d SweepDepth) error
 	// Patterns are externally produced mission stimuli graded by a
 	// PatternProvider alongside the ATPG providers.
 	Patterns []PatternSet
@@ -209,13 +231,41 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		}
 	}
 	scps := make([][]*ScenarioProvider, len(scenarios))
+	sweeps := make([]*SweepProvider, len(scenarios))
+	sweepable := 0
+	// Swept providers run concurrently but share one caller-facing observer:
+	// the lock keeps the documented "serialized calls" contract.
+	var onDepthMu sync.Mutex
 	for i, sc := range scenarios {
+		if u, ok := sweepableUnroll(sc); ok && opts.MaxFrames > 0 {
+			if opts.MaxFrames < u.Frames {
+				return nil, fmt.Errorf("flow: scenario %q starts at %d frames, above MaxFrames %d",
+					sc.Name, u.Frames, opts.MaxFrames)
+			}
+			sweeps[i] = &SweepProvider{Scenario: sc, MaxFrames: opts.MaxFrames}
+			if opts.SweepOnDepth != nil {
+				name := sc.Name
+				sweeps[i].OnDepth = func(d SweepDepth) error {
+					onDepthMu.Lock()
+					defer onDepthMu.Unlock()
+					return opts.SweepOnDepth(name, d)
+				}
+			}
+			sweepable++
+			if err := c.Add(sweeps[i]); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		scps[i] = NewScenarioProviders(sc, opts.ScenarioShards)
 		for _, p := range scps[i] {
 			if err := c.Add(p); err != nil {
 				return nil, err
 			}
 		}
+	}
+	if opts.MaxFrames > 0 && sweepable == 0 {
+		return nil, fmt.Errorf("flow: MaxFrames set but no scenario ends in a free-init Unroll to sweep")
 	}
 	var pp *PatternProvider
 	if len(opts.Patterns) > 0 {
@@ -240,6 +290,10 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	}
 	r.Scenarios = make([]*ScenarioResult, len(scps))
 	for i, ps := range scps {
+		if sweeps[i] != nil {
+			r.Scenarios[i] = sweeps[i].Result
+			continue
+		}
 		r.Scenarios[i] = MergeScenarioResults(ps)
 	}
 	if pp != nil {

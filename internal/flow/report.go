@@ -110,6 +110,18 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&b, "  scenario %q [%s] obs=%d%s: %v\n",
 			sr.Scenario.Name, strings.Join(ts, " "), len(sr.Obs), inj, sr.Outcome.Stats)
+		if sw := sr.Sweep; sw != nil {
+			status := fmt.Sprintf("stopped at the %d-frame budget", sw.FinalFrames)
+			if sw.Converged {
+				status = fmt.Sprintf("converged at k=%d (projected untestable set stable across two depths)",
+					sw.FinalFrames)
+			}
+			fmt.Fprintf(&b, "    depth sweep %s:\n", status)
+			for _, d := range sw.Depths {
+				fmt.Fprintf(&b, "      k=%d: %4d classes targeted, %3d new untestable (cum %3d), %v\n",
+					d.Frames, d.Classes, d.NewUntestable, d.CumUntestable, d.Stats)
+			}
+		}
 	}
 	s := r.Summarize()
 	fmt.Fprintf(&b, "  classification: %d full-scan-testable, %d func-untestable (%d of them detected full-scan), %d unresolved\n",

@@ -1,0 +1,341 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+
+	"olfui/internal/atpg"
+	"olfui/internal/constraint"
+	"olfui/internal/fault"
+	"olfui/internal/netlist"
+	"olfui/internal/sim"
+)
+
+// SweepDepthStats summarizes one swept depth of a SweepProvider run.
+type SweepDepthStats struct {
+	// Frames is the clone's total frame count at this depth.
+	Frames int
+	// Classes is the number of collapsed classes targeted at this depth —
+	// classes already proven untestable at a shallower depth are dropped.
+	Classes int
+	// NewUntestable counts the faults newly proven untestable at this depth
+	// that project onto the original universe and are mission-live (the
+	// deliverable set the convergence rule watches).
+	NewUntestable int
+	// CumUntestable is the running size of that projected set.
+	CumUntestable int
+	// Stats is the depth's engine summary.
+	Stats atpg.Stats
+}
+
+// SweepResult is the per-depth record of one adaptive depth sweep.
+type SweepResult struct {
+	// Depths holds one entry per depth actually swept, shallow to deep.
+	Depths []SweepDepthStats
+	// Converged is true when the sweep stopped because the projected
+	// untestable set was stable across two consecutive depths, false when it
+	// ran into the MaxFrames budget.
+	Converged bool
+	// FinalFrames is the deepest frame count swept; the converged
+	// ScenarioResult's clone, universe and site map are at this depth.
+	FinalFrames int
+}
+
+// SweepDepth hands a SweepProvider.OnDepth observer the full state of one
+// completed depth. Clone, Sites and Universe reference the provider's live
+// clone preparation: they are valid during the callback but the clone and
+// site map are extended in place afterwards, so observers needing a snapshot
+// must take it synchronously (e.g. run an exhaustive oracle before
+// returning).
+type SweepDepth struct {
+	Frames   int
+	Clone    *netlist.Netlist
+	Universe *fault.Universe
+	Sites    *fault.SiteMap
+	Obs      []sim.ObsPoint
+	// Status is this depth's engine outcome over Universe (class-spread).
+	Status *fault.StatusMap
+	// Stats is the depth's summary, identical to the SweepResult entry.
+	Stats SweepDepthStats
+}
+
+// SweepProvider runs one unrolled reach scenario at increasing sequential
+// depth on a single incrementally extended clone preparation: the scenario's
+// trailing constraint.Unroll sets the starting depth, and after each depth
+// the clone is Extended from k to k+1 frames in place (constraint.Unroller),
+// the annotations updated append-aware (netlist.AnnotateAppended), and the
+// next depth targets only the classes not yet proven untestable. Deepening a
+// free-init unroll only tightens the reach over-approximation — every
+// (k+1)-frame faulty behavior is reproducible at k frames by choosing the
+// free initial state — so untestability proofs persist across depths,
+// dropping them is sound, and the projected untestable set grows
+// monotonically toward the converged classification.
+//
+// Each depth streams its newly proven, projected, mission-live untestability
+// verdicts into the mission channel as its own delta source
+// ("sweep:<name>@k=<frames>"), so the merged accumulator attributes every
+// fault to the depth that proved it. The sweep stops when a depth adds
+// nothing to the projected set (the set is stable across two consecutive
+// depths) or when MaxFrames is reached; the converged Result is equivalent to
+// a one-shot run at the final depth (absent aborts), with per-depth stats in
+// Result.Sweep.
+type SweepProvider struct {
+	// Scenario is the swept scenario; its transform stack must end in a
+	// constraint.Unroll, whose Frames is the starting depth.
+	Scenario Scenario
+	// MaxFrames is the depth budget, >= the starting depth.
+	MaxFrames int
+	// OnDepth, when non-nil, observes every completed depth synchronously on
+	// the provider's goroutine; a non-nil return fails the provider.
+	OnDepth func(SweepDepth) error
+	// Result holds the converged scenario result (clone state at the final
+	// depth, cumulative outcome and projection) with Result.Sweep filled in.
+	Result *ScenarioResult
+}
+
+// Name implements Provider.
+func (p *SweepProvider) Name() string { return "sweep:" + p.Scenario.Name }
+
+// Channel implements Provider.
+func (p *SweepProvider) Channel() Channel { return ChannelMission }
+
+// sweepableUnroll returns the trailing constraint.Unroll of a scenario's
+// transform stack when the scenario can be swept — the shape RunCampaign
+// sweeps under MaxFrames. Reset-anchored unrolls are NOT sweepable: with
+// ResetInit, depth k models exactly the first k cycles after reset, so a
+// fault undetectable within k cycles may become detectable at k+1 —
+// untestability does not persist across depths and dropping resolved classes
+// (the sweep's core amortization) would be unsound. Only the free-init form
+// has the monotone tightening the sweep relies on.
+func sweepableUnroll(sc Scenario) (constraint.Unroll, bool) {
+	if len(sc.Transforms) == 0 {
+		return constraint.Unroll{}, false
+	}
+	u, ok := sc.Transforms[len(sc.Transforms)-1].(constraint.Unroll)
+	return u, ok && !u.ResetInit
+}
+
+// sweepClasses plans one depth's target list: the representatives of the
+// clone's current structural collapse whose fault is not already proven
+// untestable at a shallower depth. The collapse is recomputed per depth —
+// appended frames grow fanout on frame-invariant nets, which only refines
+// the partition, so every member of a dropped representative's former class
+// is itself already proven untestable.
+func sweepClasses(cu *fault.Universe, cum *fault.StatusMap) []fault.FID {
+	collapse := fault.NewCollapse(cu)
+	classes := []fault.FID{}
+	for id := 0; id < cu.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if collapse.Rep(fid) == fid && cum.Get(fid) != fault.Untestable {
+			classes = append(classes, fid)
+		}
+	}
+	return classes
+}
+
+// Run implements Provider.
+func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
+	if err := ctx.Err(); err != nil {
+		return err // don't pay for the clone when already cancelled
+	}
+	if _, ok := sweepableUnroll(p.Scenario); !ok {
+		return fmt.Errorf("scenario's transform stack must end in a free-init Unroll " +
+			"(reset-anchored untestability does not persist across depths)")
+	}
+	clone := env.N.Clone()
+	ur, sm, err := constraint.BuildUnroller(clone, p.Scenario.Transforms)
+	if err != nil {
+		return err
+	}
+	if p.MaxFrames < ur.Frames() {
+		return fmt.Errorf("max frames %d below the scenario's %d starting frames",
+			p.MaxFrames, ur.Frames())
+	}
+	// One universe serves every depth: appended frame copies are synthetic
+	// and contribute no sites, and extension never touches an original
+	// gate's pins, so the enumeration at the starting depth stays valid —
+	// which is exactly what makes verdicts comparable across depths.
+	cu := fault.NewUniverse(clone)
+	obsFn := p.Scenario.Observe
+	if obsFn == nil {
+		obsFn = constraint.ObserveFullScan
+	}
+	// The observation set is depth-invariant: primary outputs and capture
+	// probes live in the final frame, which extension re-splices but never
+	// rebuilds.
+	obs := obsFn(clone)
+	if len(obs) == 0 {
+		return fmt.Errorf("observation selection returned no points")
+	}
+	ann, err := clone.Annotate()
+	if err != nil {
+		return err
+	}
+
+	// missionLive: the fault's site net still has readers on the clone, so
+	// the verdict is about mission behavior rather than a disconnected pin.
+	missionLive := func(fid fault.FID) bool {
+		f := cu.FaultOf(fid)
+		return len(clone.Nets[cu.NetOf(f.Site)].Fanout) > 0
+	}
+
+	cum := fault.NewStatusMap(cu)
+	sweep := &SweepResult{}
+	var (
+		work             atpg.Stats // summed per-depth work counters
+		patterns, states []sim.Pattern
+		cumProjected     int
+	)
+	for {
+		depth := ur.Frames()
+		classes := sweepClasses(cu, cum)
+		em := newEmitter(fmt.Sprintf("%s@k=%d", p.Name(), depth), emit)
+		var emitErr error
+		opts := env.ATPG
+		opts.ObsPoints = obs
+		if !sm.Empty() {
+			opts.Sites = sm
+		}
+		opts.Annotations = ann
+		opts.Classes = classes
+		opts.Progress = func(fid fault.FID, v atpg.Verdict) {
+			if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
+				return
+			}
+			// Per-verdict projection of the clone's representative back onto
+			// the original universe; class members follow in the final delta.
+			if oid := env.Universe.IDOf(cu.FaultOf(fid)); oid != fault.InvalidFID {
+				emitErr = em.add(oid, fault.Untestable)
+			}
+		}
+		out, err := atpg.GenerateAll(ctx, clone, cu, opts)
+		if err != nil {
+			return err
+		}
+		if emitErr != nil {
+			return emitErr
+		}
+
+		// Fold the depth into the cumulative map: untestability proofs
+		// persist (deeper depths only tighten the reach constraint), every
+		// other verdict is refreshed by the depth that just re-targeted it.
+		newProjected := 0
+		for id := 0; id < cu.NumFaults(); id++ {
+			fid := fault.FID(id)
+			st := out.Status.Get(fid)
+			if st == fault.Undetected || cum.Get(fid) == fault.Untestable {
+				continue
+			}
+			cum.Set(fid, st)
+			if st != fault.Untestable || !missionLive(fid) {
+				continue
+			}
+			if oid := env.Universe.IDOf(cu.FaultOf(fid)); oid != fault.InvalidFID {
+				newProjected++
+				if err := em.add(oid, fault.Untestable); err != nil {
+					return err
+				}
+			}
+		}
+		if err := em.flush(); err != nil {
+			return err
+		}
+		cumProjected += newProjected
+		// Depths re-target every class not yet proven untestable, so class
+		// tallies must not be summed across them (atpg.Stats.Add is for
+		// disjoint shards); only the work counters accumulate here — the
+		// classification tallies are derived from the cumulative map after
+		// the loop. Depths run sequentially, so elapsed time sums.
+		work.SimDropped += out.Stats.SimDropped
+		work.Patterns += out.Stats.Patterns
+		work.Backtracks += out.Stats.Backtracks
+		work.Elapsed += out.Stats.Elapsed
+		patterns = append(patterns, out.Patterns...)
+		states = append(states, out.States...)
+		ds := SweepDepthStats{
+			Frames:        depth,
+			Classes:       len(classes),
+			NewUntestable: newProjected,
+			CumUntestable: cumProjected,
+			Stats:         out.Stats,
+		}
+		sweep.Depths = append(sweep.Depths, ds)
+		if p.OnDepth != nil {
+			if err := p.OnDepth(SweepDepth{
+				Frames: depth, Clone: clone, Universe: cu, Sites: sm,
+				Obs: obs, Status: out.Status, Stats: ds,
+			}); err != nil {
+				return fmt.Errorf("depth %d observer: %w", depth, err)
+			}
+		}
+
+		// Convergence rule: the projected untestable set is stable across
+		// two consecutive depths — the depth that just ran added nothing to
+		// what the previous depth had already proven.
+		if len(sweep.Depths) >= 2 && newProjected == 0 {
+			sweep.Converged = true
+		}
+		if sweep.Converged || depth >= p.MaxFrames {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ur.Extend(); err != nil {
+			return err
+		}
+		if err := clone.Validate(); err != nil {
+			return fmt.Errorf("extended clone invalid at %d frames: %w", ur.Frames(), err)
+		}
+		order, stale := ur.AnnotationOrder()
+		if ann, err = clone.AnnotateAppended(ann, order, stale); err != nil {
+			return err
+		}
+	}
+	sweep.FinalFrames = ur.Frames()
+
+	// The converged Stats mirror what a one-shot run at the final depth
+	// would report: class tallies over the final depth's collapse with the
+	// cumulative statuses (a rep shares its class's status at every
+	// refinement level, so indexing cum by rep is exact), plus the work
+	// counters summed across depths — SimDropped, Patterns, Backtracks and
+	// Elapsed measure the sweep's total work, so re-targeted classes count
+	// once per depth there.
+	stats := work
+	stats.Faults = cu.NumFaults()
+	finalCollapse := fault.NewCollapse(cu)
+	for id := 0; id < cu.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if finalCollapse.Rep(fid) != fid {
+			continue
+		}
+		stats.Classes++
+		switch cum.Get(fid) {
+		case fault.Detected:
+			stats.Detected++
+		case fault.Untestable:
+			stats.Untestable++
+		case fault.Aborted:
+			stats.Aborted++
+		}
+	}
+
+	p.Result = &ScenarioResult{
+		Scenario: p.Scenario,
+		Clone:    clone,
+		Universe: cu,
+		Sites:    sm,
+		Obs:      obs,
+		Outcome: &atpg.Outcome{
+			Stats:    stats,
+			Status:   cum,
+			Patterns: patterns,
+			States:   states,
+		},
+		Projected: fault.Project(cu, cum, env.Universe),
+		Sweep:     sweep,
+	}
+	return nil
+}
+
+var _ Provider = (*SweepProvider)(nil)

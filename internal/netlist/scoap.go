@@ -79,10 +79,77 @@ func (n *Netlist) Annotate() (*Annotations, error) {
 		order:     order,
 	}
 	for i := range n.Nets {
-		a.CC0[i], a.CC1[i], a.CO[i] = CostInf, CostInf, CostInf
-		a.FanoutCnt[i] = int32(len(n.Nets[i].Fanout))
+		a.CC0[i], a.CC1[i] = CostInf, CostInf
 	}
-	// Sources.
+	a.initSources(n)
+	a.forward(n, order)
+	a.finish(n, order)
+	return a, nil
+}
+
+// AnnotateAppended updates testability annotations after an append-and-rewire
+// manipulation (e.g. one constraint.Unroller.Extend): gates and nets were
+// appended and some existing input pins rewired, without renumbering — the
+// identity contract. The caller supplies a full topological order of the live
+// combinational gates and the index of the first order entry whose output
+// net's level or controllability may differ from prev; everything before
+// `from` must drive nets whose forward annotations are unchanged (source nets
+// included), which is what lets a depth sweep amortize the forward SCOAP pass
+// across depths: old frames keep their values, and only the appended frame
+// plus the re-spliced final frame are recomputed.
+//
+// Observability has no such clean prefix — a re-spliced state chain shifts
+// CO throughout the appended logic — so the backward pass always runs over
+// the whole order; it is pure array arithmetic, and the saving over Annotate
+// is skipping Levelize and the clean prefix's forward recomputation. The
+// result is value-identical to a fresh Annotate (the measures are the unique
+// fixpoint on the DAG, independent of which topological order computes them);
+// prev is not mutated, so engines sharing it keep a consistent snapshot.
+func (n *Netlist) AnnotateAppended(prev *Annotations, order []GateID, from int) (*Annotations, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("netlist %q: AnnotateAppended needs previous annotations", n.Name)
+	}
+	if from < 0 || from > len(order) {
+		return nil, fmt.Errorf("netlist %q: recompute index %d outside order of %d gates",
+			n.Name, from, len(order))
+	}
+	want := 0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind != KDead && !g.Kind.IsSource() {
+			want++
+		}
+	}
+	if len(order) != want {
+		return nil, fmt.Errorf("netlist %q: order covers %d gates, netlist has %d live combinational gates",
+			n.Name, len(order), want)
+	}
+	a := &Annotations{
+		Level:     make([]int32, len(n.Nets)),
+		CC0:       make([]int32, len(n.Nets)),
+		CC1:       make([]int32, len(n.Nets)),
+		CO:        make([]int32, len(n.Nets)),
+		FanoutCnt: make([]int32, len(n.Nets)),
+		order:     order,
+	}
+	// Forward prefix: carry the previous values; the recompute suffix below
+	// overwrites every net whose level or controllability can have changed.
+	old := len(prev.Level)
+	copy(a.Level, prev.Level)
+	copy(a.CC0, prev.CC0)
+	copy(a.CC1, prev.CC1)
+	for i := old; i < len(n.Nets); i++ {
+		a.CC0[i], a.CC1[i] = CostInf, CostInf
+	}
+	a.initSources(n)
+	a.forward(n, order[from:])
+	a.finish(n, order)
+	return a, nil
+}
+
+// initSources seeds source-net controllabilities. Re-seeding nets carried
+// over from previous annotations is idempotent: source costs are constants.
+func (a *Annotations) initSources(n *Netlist) {
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		if g.Out == InvalidNet {
@@ -97,7 +164,12 @@ func (n *Netlist) Annotate() (*Annotations, error) {
 			a.CC1[g.Out] = 0
 		}
 	}
-	// Forward pass: levels and controllability.
+}
+
+// forward computes levels and controllability for the gates of order, which
+// must be (a suffix of) a topological order whose earlier nets carry final
+// values already.
+func (a *Annotations) forward(n *Netlist, order []GateID) {
 	for _, gid := range order {
 		g := &n.Gates[gid]
 		if g.Out == InvalidNet {
@@ -112,7 +184,14 @@ func (n *Netlist) Annotate() (*Annotations, error) {
 		a.Level[g.Out] = lvl
 		a.CC0[g.Out], a.CC1[g.Out] = a.gateCC(n, g)
 	}
-	// Backward pass: observability, in reverse levelized order.
+}
+
+// finish fills fanout counts and runs the full backward observability pass.
+func (a *Annotations) finish(n *Netlist, order []GateID) {
+	for i := range n.Nets {
+		a.CO[i] = CostInf
+		a.FanoutCnt[i] = int32(len(n.Nets[i].Fanout))
+	}
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		switch g.Kind {
@@ -138,7 +217,6 @@ func (n *Netlist) Annotate() (*Annotations, error) {
 			}
 		}
 	}
-	return a, nil
 }
 
 // gateCC returns (CC0, CC1) of a combinational gate's output net.

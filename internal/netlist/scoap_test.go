@@ -86,3 +86,89 @@ func TestAnnotateMuxAndDFF(t *testing.T) {
 		t.Errorf("FF output CC = (%d,%d), want (1,1)", ann.CC0[q], ann.CC1[q])
 	}
 }
+
+// appendStage mimics one step of an append-and-rewire manipulation (the shape
+// constraint.Unroller.Extend produces): append a synthetic input and a gate
+// stage, then rewire an existing buffer's input onto the new stage's output.
+// Returns the new full topological order and the index the appended/dirty
+// suffix starts at.
+func appendStage(n *Netlist, prevOrder []GateID, step int) ([]GateID, int) {
+	in := n.AddSyntheticInput("x" + string(rune('a'+step)))
+	g := n.AddSyntheticGate(KAnd, "stage"+string(rune('a'+step)), in, n.Gates[0].Out)
+	spl, _ := n.GateByName("splice")
+	n.RewirePin(Pin{Gate: spl, In: 0}, n.Gates[g].Out)
+	// New order: the appended gate first, then everything downstream of the
+	// rewired splice (here: the whole previous order, which contains only
+	// the splice and its downstream cone plus clean prefix gates).
+	order := append([]GateID{g}, prevOrder...)
+	return order, 0
+}
+
+// TestAnnotateAppendedMatchesFull pins that the append-aware update is
+// value-identical to a from-scratch Annotate after appended gates and a
+// rewired pin, across two successive steps.
+func TestAnnotateAppendedMatchesFull(t *testing.T) {
+	n := New("append")
+	a := n.Input("a")
+	b := n.Input("b")
+	y := n.And("y", a, b)
+	// A buffer whose input will be re-driven each step, feeding a small cone.
+	spl := n.AddGate(KBuf, "splice", a)
+	z := n.Or("z", n.Gates[spl].Out, y)
+	n.OutputPort("po", z)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ann, err := n.Annotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := append([]GateID(nil), ann.Order()...)
+	for step := 0; step < 2; step++ {
+		var from int
+		order, from = appendStage(n, order, step)
+		ann, err = n.AnnotateAppended(ann, order, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := n.Annotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range n.Nets {
+			id := NetID(i)
+			if ann.Level[id] != full.Level[id] || ann.CC0[id] != full.CC0[id] ||
+				ann.CC1[id] != full.CC1[id] || ann.CO[id] != full.CO[id] ||
+				ann.FanoutCnt[id] != full.FanoutCnt[id] {
+				t.Fatalf("step %d net %q: incremental (%d,%d,%d,%d,%d) != full (%d,%d,%d,%d,%d)",
+					step, n.Nets[i].Name,
+					ann.Level[id], ann.CC0[id], ann.CC1[id], ann.CO[id], ann.FanoutCnt[id],
+					full.Level[id], full.CC0[id], full.CC1[id], full.CO[id], full.FanoutCnt[id])
+			}
+		}
+	}
+}
+
+// TestAnnotateAppendedContractErrors pins the guard rails: nil previous
+// annotations, an out-of-range recompute index, and an order that does not
+// cover the live combinational gates are all rejected.
+func TestAnnotateAppendedContractErrors(t *testing.T) {
+	n := New("guards")
+	a := n.Input("a")
+	y := n.Not("y", a)
+	n.OutputPort("po", y)
+	ann, err := n.Annotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ann.Order()
+	if _, err := n.AnnotateAppended(nil, order, 0); err == nil {
+		t.Error("nil prev: want error")
+	}
+	if _, err := n.AnnotateAppended(ann, order, len(order)+1); err == nil {
+		t.Error("out-of-range index: want error")
+	}
+	if _, err := n.AnnotateAppended(ann, order[:1], 0); err == nil {
+		t.Error("short order: want error")
+	}
+}
