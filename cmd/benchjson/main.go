@@ -1,0 +1,136 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// benchmark record, and doubles as the CI assertion tool for olfui telemetry
+// snapshots:
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH.json
+//	    parses benchmark result lines from stdin into a JSON array — one
+//	    object per benchmark with name, iterations, ns/op, and (with
+//	    -benchmem) B/op and allocs/op; custom ReportMetric units land in
+//	    "metrics". Non-benchmark lines pass through to stderr so failures
+//	    stay visible in CI logs.
+//
+//	benchjson -check-metrics file.json
+//	    validates an olfui -metrics-out snapshot: it must parse as an
+//	    internal/obs Snapshot and carry non-zero engine and campaign totals
+//	    plus a span tree — the smoke test that the telemetry layer actually
+//	    recorded a campaign, not just that a file exists.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"olfui/internal/obs"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "faults").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	checkMetrics := flag.String("check-metrics", "",
+		"validate an olfui -metrics-out snapshot instead of parsing bench output")
+	flag.Parse()
+
+	if *checkMetrics != "" {
+		if err := checkSnapshot(*checkMetrics); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s OK\n", *checkMetrics)
+		return
+	}
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench scans go-test bench output: result lines start with "Benchmark"
+// and alternate value/unit pairs after the iteration count. Anything else
+// (headers, PASS/ok, failures) is forwarded to stderr untouched.
+func parseBench(r *os.File) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		res := Result{Name: f[0], Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, f[i])
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[f[i+1]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// checkSnapshot asserts the snapshot records a real campaign.
+func checkSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: does not parse as a telemetry snapshot: %w", path, err)
+	}
+	for _, name := range []string{"atpg.classes", "atpg.classes.detected", "flow.deltas"} {
+		if snap.Counter(name) <= 0 {
+			return fmt.Errorf("%s: counter %q is zero — no campaign recorded", path, name)
+		}
+	}
+	if len(snap.Spans) == 0 || snap.FindSpan("campaign") == nil {
+		return fmt.Errorf("%s: no campaign span tree", path)
+	}
+	return nil
+}

@@ -9,6 +9,21 @@
 // per-scenario ATPG stats (with a per-depth convergence table for swept
 // scenarios), the fault classification, and the coverage-target correction,
 // and exits non-zero if any internal cross-check fails.
+//
+// Every run records engine, simulator and campaign telemetry into an
+// internal/obs registry (always on; the recording cost is atomic ops on the
+// hot paths). Three flags surface it:
+//
+//	-metrics-out file.json  write the final registry snapshot — counters,
+//	                        latency histograms and the campaign span tree
+//	                        (one span per provider, per sweep depth) — as
+//	                        JSON when the run exits, even on failure
+//	-pprof addr             serve net/http/pprof under /debug/pprof/ and a
+//	                        live JSON snapshot under /metrics while running
+//	-progress               print per-provider completion lines and a
+//	                        once-per-second rate summary (classes/s, live
+//	                        classes, ETA) on stderr, leaving stdout to the
+//	                        report
 package main
 
 import (
@@ -16,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -24,6 +40,7 @@ import (
 	"olfui/internal/flow"
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 	"olfui/internal/sim"
 	"olfui/internal/testutil"
 )
@@ -41,6 +58,8 @@ type config struct {
 	patterns       string // stimulus file for the pattern-import provider
 	progress       bool
 	selfcheck      bool
+	metricsOut     string // telemetry snapshot JSON path, written on exit
+	pprofAddr      string // debug server address (pprof + /metrics)
 }
 
 // validate rejects inconsistent flag combinations with a one-line error
@@ -90,6 +109,10 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "print per-provider delta merges and completions")
 	flag.BoolVar(&cfg.selfcheck, "selfcheck", false,
 		"exhaustively verify sampled untestability verdicts (small widths only)")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "",
+		"write the final telemetry snapshot (counters, histograms, span tree) to this JSON file")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "",
+		"serve net/http/pprof and a /metrics JSON endpoint on this address while running")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -99,7 +122,29 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config) error {
-	r, sweepChecks, err := runCampaign(ctx, cfg)
+	reg := obs.New()
+	if cfg.pprofAddr != "" {
+		addr, stop, err := startDebugServer(cfg.pprofAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "olfui: debug server on http://%s (/debug/pprof/, /metrics)\n", addr)
+	}
+	err := runReport(ctx, cfg, reg)
+	if cfg.metricsOut != "" {
+		// The snapshot is written even when the run failed — a partial
+		// registry is exactly what post-mortems want.
+		if werr := writeMetrics(cfg.metricsOut, reg); werr != nil && err == nil {
+			err = fmt.Errorf("write metrics: %w", werr)
+		}
+	}
+	return err
+}
+
+// runReport executes the campaign and renders the report and checks.
+func runReport(ctx context.Context, cfg config, reg *obs.Registry) error {
+	r, sweepChecks, err := runCampaign(ctx, cfg, reg)
 	if err != nil {
 		return err
 	}
@@ -124,8 +169,9 @@ func run(ctx context.Context, cfg config) error {
 // runCampaign assembles the benchmark and its mission scenarios and executes
 // the identification campaign, returning the report for run to render (and
 // for tests to compare across sharding and sweep configurations) plus the
-// per-depth sweep selfcheck lines collected while the campaign ran.
-func runCampaign(ctx context.Context, cfg config) (*flow.Report, []string, error) {
+// per-depth sweep selfcheck lines collected while the campaign ran. reg
+// receives the run's telemetry; nil runs uninstrumented.
+func runCampaign(ctx context.Context, cfg config, reg *obs.Registry) (*flow.Report, []string, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -162,6 +208,7 @@ func runCampaign(ctx context.Context, cfg config) (*flow.Report, []string, error
 		Shards:         cfg.shards,
 		ScenarioShards: cfg.scenarioShards,
 		MaxFrames:      cfg.sweepBudget(),
+		Metrics:        reg,
 	}
 	var sweepChecks []string
 	if cfg.selfcheck && opts.MaxFrames > 0 {
@@ -175,13 +222,9 @@ func runCampaign(ctx context.Context, cfg config) (*flow.Report, []string, error
 		opts.Patterns = sets
 	}
 	if cfg.progress {
-		opts.Progress = func(e flow.Event) {
-			if e.Done {
-				fmt.Printf("  provider %-24s done (%d deltas, err=%v)\n", e.Provider, e.Seq, e.Err)
-			} else {
-				fmt.Printf("  provider %-24s delta #%d: %d entries [%v]\n", e.Provider, e.Seq, e.Faults, e.Channel)
-			}
-		}
+		pr := newProgressReporter(os.Stderr, reg, time.Second)
+		defer pr.stopAndFlush()
+		opts.Progress = pr.event
 	}
 
 	r, err := flow.RunCampaign(ctx, n, u, scenarios, opts)

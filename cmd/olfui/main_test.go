@@ -143,7 +143,7 @@ func campaignQuiet(t *testing.T, cfg config) *flow.Report {
 	var r *flow.Report
 	err := quiet(func() error {
 		var err error
-		r, _, err = runCampaign(context.Background(), cfg)
+		r, _, err = runCampaign(context.Background(), cfg, nil)
 		return err
 	})
 	if err != nil {
@@ -165,7 +165,7 @@ func TestFlagValidation(t *testing.T) {
 		"scenario-shards": {config{width: 2, frames: 2, shards: 1, scenarioShards: -1}, "-scenario-shards"},
 		"max-frames":      {config{width: 2, frames: 3, shards: 1, scenarioShards: 1, maxFrames: 2}, "-max-frames"},
 	} {
-		_, _, err := runCampaign(context.Background(), tc.cfg)
+		_, _, err := runCampaign(context.Background(), tc.cfg, nil)
 		if err == nil {
 			t.Errorf("%s: want rejection", name)
 			continue

@@ -27,10 +27,12 @@ package atpg
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"olfui/internal/fault"
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 	"olfui/internal/sim"
 )
 
@@ -120,6 +122,17 @@ type Options struct {
 	// evidence deltas while generation is still running; it must not block
 	// for long and must not call back into the engine.
 	Progress func(fid fault.FID, v Verdict)
+	// Metrics, when non-nil, receives the run's engine telemetry: per-class
+	// verdict counters mirroring Stats ("atpg.classes", "atpg.classes.*",
+	// "atpg.patterns"), search-work counters ("atpg.backtracks",
+	// "atpg.decisions", "atpg.implications"), drop-grader traffic
+	// ("atpg.drop.graded" / "atpg.drop.hits" — the hit rate of fault
+	// dropping), abort attribution ("atpg.abort.limit" / "atpg.abort.cancel")
+	// and the per-class search-time histogram ("atpg.search_ns"). Handles
+	// resolve once per run; every hot-path record is a single atomic add, so
+	// the registry is cheap enough to leave always on. Nil disables all
+	// recording at the cost of one branch per record.
+	Metrics *obs.Registry
 }
 
 // DefaultBacktrackLimit is the per-fault decision-flip budget when
@@ -127,9 +140,40 @@ type Options struct {
 // gates essentially never need this many flips to resolve a fault.
 const DefaultBacktrackLimit = 1 << 14
 
+// AbortReason says why a search ended with Verdict Aborted.
+type AbortReason uint8
+
+// Abort reasons.
+const (
+	// AbortNone: the verdict is not Aborted.
+	AbortNone AbortReason = iota
+	// AbortLimit: the backtrack limit was exhausted — the classic budget
+	// abort, the signal for tuning Options.BacktrackLimit.
+	AbortLimit
+	// AbortCancel: the search was interrupted by cancellation (the shared
+	// cancel flag, i.e. a cancelled GenerateAll context).
+	AbortCancel
+)
+
+// String implements fmt.Stringer.
+func (a AbortReason) String() string {
+	switch a {
+	case AbortNone:
+		return "none"
+	case AbortLimit:
+		return "backtrack-limit"
+	case AbortCancel:
+		return "cancelled"
+	}
+	return fmt.Sprintf("AbortReason(%d)", uint8(a))
+}
+
 // Result is the outcome of targeting one fault.
 type Result struct {
 	Verdict Verdict
+	// Abort distinguishes why an Aborted search gave up; AbortNone for
+	// Detected and Untestable results.
+	Abort AbortReason
 	// Pattern holds the primary-input assignment (indexed like
 	// Netlist.PrimaryInputs) when Verdict == Detected; unassigned inputs
 	// stay X.
@@ -139,6 +183,14 @@ type Result struct {
 	State sim.Pattern
 	// Backtracks counts the decision flips the search used.
 	Backtracks int
+	// Decisions counts the decision-stack pushes (initial assignments; flips
+	// are counted by Backtracks).
+	Decisions int
+	// Implications counts full implication passes — the search's unit of
+	// raw simulation work.
+	Implications int
+	// Elapsed is the wall-clock time of this search.
+	Elapsed time.Duration
 }
 
 // decision is one entry of the PODEM decision stack.

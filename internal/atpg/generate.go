@@ -26,7 +26,13 @@ type Stats struct {
 	SimDropped int // classes detected by fault simulation alone, never targeted
 	Patterns   int // patterns in the emitted test set
 	Backtracks int // total decision flips across all targeted faults
-	Elapsed    time.Duration
+	// Decisions and Implications total the searches' decision-stack pushes
+	// and implication passes — the raw work the telemetry layer tracks for
+	// throughput tuning (Stats keeps them so shard merges and tests can
+	// reconcile against the obs counters).
+	Decisions    int
+	Implications int
+	Elapsed      time.Duration
 }
 
 // String renders a compact one-line summary.
@@ -49,6 +55,8 @@ func (s *Stats) Add(t Stats) {
 	s.SimDropped += t.SimDropped
 	s.Patterns += t.Patterns
 	s.Backtracks += t.Backtracks
+	s.Decisions += t.Decisions
+	s.Implications += t.Implications
 	if t.Elapsed > s.Elapsed {
 		s.Elapsed = t.Elapsed
 	}
@@ -127,6 +135,7 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 	if err != nil {
 		return nil, err
 	}
+	grader.Instrument(opts.Metrics)
 
 	// live is the incrementally pruned drop-candidate list: classes not yet
 	// proven Detected or Untestable. Aborted classes stay live — a later
@@ -174,6 +183,28 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 	st := &out.Stats
 	st.Faults = u.NumFaults()
 	st.Classes = len(reps)
+
+	// Telemetry handles resolve once per run. With a nil registry every
+	// handle is nil and each record below costs one branch — the always-on
+	// contract: no allocation and no lock on any per-verdict path.
+	reg := opts.Metrics
+	var (
+		mClasses      = reg.Counter("atpg.classes")
+		mDetected     = reg.Counter("atpg.classes.detected")
+		mUntestable   = reg.Counter("atpg.classes.untestable")
+		mAborted      = reg.Counter("atpg.classes.aborted")
+		mSimDropped   = reg.Counter("atpg.classes.sim_dropped")
+		mPatterns     = reg.Counter("atpg.patterns")
+		mBacktracks   = reg.Counter("atpg.backtracks")
+		mDecisions    = reg.Counter("atpg.decisions")
+		mImplications = reg.Counter("atpg.implications")
+		mAbortLimit   = reg.Counter("atpg.abort.limit")
+		mAbortCancel  = reg.Counter("atpg.abort.cancel")
+		mDropGraded   = reg.Counter("atpg.drop.graded")
+		mDropHits     = reg.Counter("atpg.drop.hits")
+		hSearch       = reg.Histogram("atpg.search_ns")
+	)
+	mClasses.Add(int64(len(reps)))
 
 	commit := func(fid fault.FID, v Verdict) {
 		if opts.Progress != nil {
@@ -228,6 +259,12 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 			continue
 		}
 		st.Backtracks += w.res.Backtracks
+		st.Decisions += w.res.Decisions
+		st.Implications += w.res.Implications
+		mBacktracks.Add(int64(w.res.Backtracks))
+		mDecisions.Add(int64(w.res.Decisions))
+		mImplications.Add(int64(w.res.Implications))
+		hSearch.Observe(w.res.Elapsed.Nanoseconds())
 		// A class dropped while its search was in flight needs no further
 		// accounting — the verdicts cannot disagree, only overlap.
 		if status.Get(w.fid) == fault.Undetected {
@@ -235,31 +272,45 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 			case Detected:
 				status.Set(w.fid, fault.Detected)
 				st.Detected++
+				mDetected.Inc()
 				unlive(w.fid)
 				commit(w.fid, Detected)
 				out.Patterns = append(out.Patterns, w.res.Pattern)
 				out.States = append(out.States, w.res.State)
 				st.Patterns++
+				mPatterns.Inc()
+				mDropGraded.Add(int64(len(live)))
 				dropped := grader.Grade(
 					[]sim.Pattern{w.res.Pattern}, []sim.Pattern{w.res.State}, live)
+				mDropHits.Add(int64(dropped.Count()))
 				dropped.ForEach(func(fid fault.FID) {
 					if status.Get(fid) == fault.Aborted {
 						st.Aborted--
+						mAborted.Add(-1)
 					}
 					status.Set(fid, fault.Detected)
 					st.Detected++
 					st.SimDropped++
+					mDetected.Inc()
+					mSimDropped.Inc()
 					unlive(fid)
 					commit(fid, Detected)
 				})
 			case Untestable:
 				status.Set(w.fid, fault.Untestable)
 				st.Untestable++
+				mUntestable.Inc()
 				unlive(w.fid)
 				commit(w.fid, Untestable)
 			case Aborted:
 				status.Set(w.fid, fault.Aborted)
 				st.Aborted++
+				mAborted.Inc()
+				if w.res.Abort == AbortCancel {
+					mAbortCancel.Inc()
+				} else {
+					mAbortLimit.Inc()
+				}
 				commit(w.fid, Aborted)
 			}
 		}

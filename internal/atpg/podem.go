@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"time"
+
 	"olfui/internal/fault"
 	"olfui/internal/logic"
 	"olfui/internal/sim"
@@ -20,13 +22,24 @@ func (e *Engine) Generate(f fault.Fault) Result {
 // the stuck value is present at every site of the injection simultaneously,
 // and the verdict is about that whole faulty machine. The injection must
 // have at least one site and a known stuck value.
-func (e *Engine) GenerateInjection(inj fault.Injection) Result {
+func (e *Engine) GenerateInjection(inj fault.Injection) (res Result) {
 	if len(inj.Sites) == 0 {
 		panic("atpg: injection with no sites")
 	}
 	if !inj.SA.IsKnown() {
 		panic("atpg: injection stuck value must be 0 or 1")
 	}
+	// The per-search work tallies are plain ints — telemetry aggregation
+	// happens once per class in GenerateAll's coordinator, never inside the
+	// decision loop.
+	start := time.Now()
+	decisions, implications := 0, 0
+	defer func() {
+		res.Backtracks = e.backtracks
+		res.Decisions = decisions
+		res.Implications = implications
+		res.Elapsed = time.Since(start)
+	}()
 	e.setInjection(inj)
 	for i := range e.assigns {
 		e.assigns[i] = logic.X
@@ -35,16 +48,16 @@ func (e *Engine) GenerateInjection(inj fault.Injection) Result {
 	e.backtracks = 0
 
 	e.imply()
+	implications++
 	for {
 		if e.cancel != nil && e.cancel.Load() {
-			return Result{Verdict: Aborted, Backtracks: e.backtracks}
+			return Result{Verdict: Aborted, Abort: AbortCancel}
 		}
 		if e.detected() {
 			return Result{
-				Verdict:    Detected,
-				Pattern:    append(sim.Pattern(nil), e.assigns[:e.numPI]...),
-				State:      append(sim.Pattern(nil), e.assigns[e.numPI:]...),
-				Backtracks: e.backtracks,
+				Verdict: Detected,
+				Pattern: append(sim.Pattern(nil), e.assigns[:e.numPI]...),
+				State:   append(sim.Pattern(nil), e.assigns[e.numPI:]...),
 			}
 		}
 		advanced := false
@@ -52,19 +65,21 @@ func (e *Engine) GenerateInjection(inj fault.Injection) Result {
 			if idx, v, ok := e.backtrace(obj); ok {
 				e.assigns[idx] = v
 				e.stack = append(e.stack, decision{idx: idx, val: v})
+				decisions++
 				advanced = true
 				break
 			}
 		}
 		if !advanced {
 			if !e.backtrack() {
-				return Result{Verdict: Untestable, Backtracks: e.backtracks}
+				return Result{Verdict: Untestable}
 			}
 			if e.backtracks > e.opts.BacktrackLimit {
-				return Result{Verdict: Aborted, Backtracks: e.backtracks}
+				return Result{Verdict: Aborted, Abort: AbortLimit}
 			}
 		}
 		e.imply()
+		implications++
 	}
 }
 

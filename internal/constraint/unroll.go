@@ -2,9 +2,11 @@ package constraint
 
 import (
 	"fmt"
+	"time"
 
 	"olfui/internal/fault"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 )
 
 // CaptureGroup is the netlist group collecting the synthetic capture probes
@@ -148,6 +150,23 @@ type Unroller struct {
 
 	nmap []netlist.NetID // pre-unroll net -> its copy in the frame being built
 	ins  []netlist.NetID // per-gate input scratch (AddGate copies it)
+
+	// buildDur is the wall-clock cost of the initial NewUnroller unroll —
+	// the "rebuild" price an Extend amortizes away; Instrument reports it.
+	buildDur time.Duration
+	// hExtend, when non-nil, receives each Extend's wall-clock nanoseconds.
+	hExtend *obs.Histogram
+}
+
+// Instrument attaches a telemetry registry: the initial build cost is
+// recorded into the "constraint.unroll.build_ns" histogram immediately (one
+// sample per instrumented Unroller — directly comparable to the per-depth
+// "constraint.unroll.extend_ns" samples later Extends record, which is the
+// incremental-vs-rebuild tradeoff the sweep relies on). Nil disables
+// recording. Call once, before Extend.
+func (b *Unroller) Instrument(reg *obs.Registry) {
+	reg.Histogram("constraint.unroll.build_ns").Observe(b.buildDur.Nanoseconds())
+	b.hExtend = reg.Histogram("constraint.unroll.extend_ns")
 }
 
 // NewUnroller unrolls the clone to u.Frames frames — producing exactly the
@@ -155,6 +174,7 @@ type Unroller struct {
 // it. sm may be nil (single-site fault semantics; Extend then maintains no
 // replicas, preserving the nil-map identity).
 func NewUnroller(c *netlist.Netlist, sm *fault.SiteMap, u Unroll) (*Unroller, error) {
+	buildStart := time.Now()
 	if u.Frames < 1 {
 		return nil, fmt.Errorf("frames must be >= 1, got %d", u.Frames)
 	}
@@ -282,6 +302,7 @@ func NewUnroller(c *netlist.Netlist, sm *fault.SiteMap, u Unroll) (*Unroller, er
 	b.tail = append(b.tail, order...)
 	b.tail = append(b.tail, captures...)
 	b.annotated = len(b.frameGates)
+	b.buildDur = time.Since(buildStart)
 	return b, nil
 }
 
@@ -364,6 +385,7 @@ func (b *Unroller) Frames() int { return b.frames }
 // unroll; Extend itself performs no validation — callers interleaving other
 // manipulations should Validate before trusting the clone.
 func (b *Unroller) Extend() error {
+	start := time.Now()
 	frame := b.frames - 1 // the new latest earlier frame
 	b.c.Reserve(b.perFrameGates, b.perFrameGates)
 	b.appendFrame(frame)
@@ -371,6 +393,7 @@ func (b *Unroller) Extend() error {
 		b.c.RewirePin(netlist.Pin{Gate: sp, In: 0}, b.state[i])
 	}
 	b.frames++
+	b.hExtend.ObserveSince(start)
 	return nil
 }
 

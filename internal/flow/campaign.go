@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"olfui/internal/atpg"
 	"olfui/internal/fault"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 )
 
 // Channel names the evidence domain a provider's deltas merge into. The two
@@ -52,8 +54,15 @@ type Env struct {
 	// ATPG configures the provider's engines; Workers is this provider's
 	// share of the campaign budget. ObsPoints, Classes and Sites arrive nil
 	// — providers select their own observation points, class subset and
-	// injection site map.
+	// injection site map. Metrics is pre-filled with the campaign registry.
 	ATPG atpg.Options
+	// Metrics is the campaign telemetry registry (nil when the campaign runs
+	// uninstrumented; all recording methods no-op on nil).
+	Metrics *obs.Registry
+	// Span is this provider's wall-clock span. Providers may hang child
+	// spans off it (the sweep adds one per depth); the campaign ends it when
+	// Run returns.
+	Span *obs.Span
 }
 
 // EmitFn delivers one delta into the campaign merge. A non-nil return (a
@@ -78,6 +87,16 @@ type Provider interface {
 type Event struct {
 	Provider string
 	Channel  Channel
+	// Source is the merged delta's source stream. It usually equals Provider,
+	// but providers may run several sub-streams (the sweep emits one source
+	// per depth, "sweep:<name>@k=<n>"); Seq is monotone per Source, counting
+	// 0,1,2,… within each stream, NOT per provider. Terminal events carry the
+	// provider name.
+	Source string
+	// Time is when the delta committed to the merge (stamped under the merge
+	// lock, so Time is non-decreasing across the events a Progress callback
+	// observes). Terminal events stamp provider completion.
+	Time time.Time
 	// Seq and Faults describe the merged delta (Faults counts its evidence
 	// entries). For the terminal event of a provider, Done is true, Seq is
 	// the number of deltas merged from it, and Err is its failure, if any.
@@ -103,6 +122,12 @@ type CampaignOptions struct {
 	// completion. It is called with the merge lock held: keep it fast and
 	// do not call back into the campaign.
 	Progress func(Event)
+	// Metrics, when non-nil, receives campaign telemetry: a "campaign" root
+	// span with one "provider:<name>" child per provider, the flow.* counters
+	// (deltas, delta_entries, conflicts) and the flow.merge_wait_ns histogram,
+	// plus everything the engines record (it is threaded into every
+	// provider's atpg.Options — which is why ATPG.Metrics must arrive nil).
+	Metrics *obs.Registry
 }
 
 // Campaign accumulates streaming fault evidence from a set of providers
@@ -185,11 +210,27 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		// progress is CampaignOptions.Progress.
 		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Progress must be nil; use CampaignOptions.Progress")
 	}
+	if c.opts.ATPG.Metrics != nil {
+		// The campaign threads its own registry into every provider's engine
+		// options; a caller-set one would be silently overwritten.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Metrics must be nil; use CampaignOptions.Metrics")
+	}
 	if len(c.providers) == 0 {
 		return nil, fmt.Errorf("flow: campaign has no providers")
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	reg := c.opts.Metrics
+	root := reg.Root("campaign")
+	root.SetInt("providers", int64(len(c.providers)))
+	defer root.End()
+	var (
+		mDeltas       = reg.Counter("flow.deltas")
+		mDeltaEntries = reg.Counter("flow.delta_entries")
+		mConflicts    = reg.Counter("flow.conflicts")
+		hMergeWait    = reg.Histogram("flow.merge_wait_ns")
+	)
 
 	ev := &EvidenceSet{
 		FullScan: fault.NewAccumulator(c.u),
@@ -216,18 +257,29 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 	emitFor := func(pi int) EmitFn {
 		p := c.providers[pi]
 		return func(d fault.Delta) error {
+			lockStart := time.Now()
 			mu.Lock()
 			defer mu.Unlock()
+			hMergeWait.ObserveSince(lockStart)
 			if mergeErr != nil {
 				return mergeErr
 			}
 			if err := ev.channel(p.Channel()).Apply(d); err != nil {
+				var ce *fault.ConflictError
+				if errors.As(err, &ce) {
+					mConflicts.Inc()
+				}
 				return fail(pi, fmt.Errorf("flow: provider %q: %w", p.Name(), err))
 			}
 			merged[pi]++
+			mDeltas.Inc()
+			mDeltaEntries.Add(int64(len(d.FIDs)))
 			if c.opts.Progress != nil {
+				// Time is stamped under the merge lock so a Progress observer
+				// sees non-decreasing commit times across all providers.
 				c.opts.Progress(Event{
 					Provider: p.Name(), Channel: p.Channel(),
+					Source: d.Source, Time: time.Now(),
 					Seq: d.Seq, Faults: len(d.FIDs),
 				})
 			}
@@ -238,11 +290,19 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 	workers := c.budget()
 	runOne := func(pi int) {
 		p := c.providers[pi]
-		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG}
+		span := root.Child("provider:" + p.Name())
+		span.SetAttr("channel", p.Channel().String())
+		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG, Metrics: reg, Span: span}
 		env.ATPG.Workers = workers[pi]
+		env.ATPG.Metrics = reg
 		err := p.Run(ctx, env, emitFor(pi))
 		mu.Lock()
 		defer mu.Unlock()
+		span.SetInt("deltas", int64(merged[pi]))
+		if err != nil {
+			span.SetAttr("err", err.Error())
+		}
+		span.End()
 		// A provider error is benign only when it is the campaign winding
 		// down: the provider surfaced ANOTHER provider's stored merge error
 		// from emit, or returned the campaign context's error after
@@ -266,6 +326,7 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		if c.opts.Progress != nil {
 			c.opts.Progress(Event{
 				Provider: p.Name(), Channel: p.Channel(),
+				Source: p.Name(), Time: time.Now(),
 				Seq: merged[pi], Done: true, Err: evErr,
 			})
 		}

@@ -37,6 +37,7 @@ import (
 	"olfui/internal/constraint"
 	"olfui/internal/fault"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 	"olfui/internal/sim"
 )
 
@@ -171,6 +172,10 @@ type Options struct {
 	// Progress, when non-nil, observes merged deltas and provider
 	// completions.
 	Progress func(Event)
+	// Metrics, when non-nil, receives campaign telemetry (see
+	// CampaignOptions.Metrics); it is threaded into every provider and
+	// engine, so ATPG.Metrics must be left nil.
+	Metrics *obs.Registry
 }
 
 // Run executes the identification pipeline as a batch call: a campaign over
@@ -201,6 +206,9 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	if opts.ATPG.Progress != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Progress must be nil; use Options.Progress for campaign events")
 	}
+	if opts.ATPG.Metrics != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Metrics must be nil; use Options.Metrics for campaign telemetry")
+	}
 	seen := map[string]bool{}
 	for _, sc := range scenarios {
 		if sc.Name == "" {
@@ -216,6 +224,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		ATPG:     opts.ATPG,
 		Serial:   opts.SerialScenarios,
 		Progress: opts.Progress,
+		Metrics:  opts.Metrics,
 	})
 	// One annotation pass serves every baseline shard (scenario providers
 	// annotate their own clones).

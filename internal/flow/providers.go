@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -238,8 +239,20 @@ type scenarioPrep struct {
 }
 
 // build constructs the shared state on first call; later callers reuse it.
+// The build cost lands on the first arrival's telemetry: a "prep" child span
+// under its provider span, and one "flow.prep_ns" histogram sample — later
+// shards reuse the state for free, which the span tree then shows.
 func (sp *scenarioPrep) build(env Env, sc Scenario, shardOf int) error {
 	sp.once.Do(func() {
+		start := time.Now()
+		prepSpan := env.Span.Child("prep")
+		defer func() {
+			env.Metrics.Histogram("flow.prep_ns").ObserveSince(start)
+			if sp.err != nil {
+				prepSpan.SetAttr("err", sp.err.Error())
+			}
+			prepSpan.End()
+		}()
 		clone := env.N.Clone()
 		sm, err := constraint.ApplyMapped(clone, sc.Transforms...)
 		if err != nil {
@@ -475,10 +488,16 @@ func (p *PatternProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		if obsFn == nil {
 			obsFn = constraint.ObserveOutputs
 		}
-		det, err := sim.GradeSeq(env.N, env.Universe, set.Stim, obsFn(env.N), remaining)
+		setSpan := env.Span.Child("set:" + set.Name)
+		det, err := sim.GradeSeqSitesObs(
+			env.N, env.Universe, set.Stim, obsFn(env.N), remaining, nil, env.Metrics)
 		if err != nil {
+			setSpan.End()
 			return fmt.Errorf("pattern set %q: %w", set.Name, err)
 		}
+		setSpan.SetInt("graded", int64(len(remaining)))
+		setSpan.SetInt("detected", int64(det.Count()))
+		setSpan.End()
 		d := fault.Delta{Source: p.Name(), Seq: seq}
 		det.ForEach(func(fid fault.FID) {
 			d.FIDs = append(d.FIDs, fid)

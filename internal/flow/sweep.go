@@ -3,6 +3,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
@@ -147,6 +148,7 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 	if err != nil {
 		return err
 	}
+	ur.Instrument(env.Metrics)
 	if p.MaxFrames < ur.Frames() {
 		return fmt.Errorf("max frames %d below the scenario's %d starting frames",
 			p.MaxFrames, ur.Frames())
@@ -186,8 +188,11 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		patterns, states []sim.Pattern
 		cumProjected     int
 	)
+	hDepth := env.Metrics.Histogram("flow.sweep.depth_ns")
 	for {
 		depth := ur.Frames()
+		depthStart := time.Now()
+		dspan := env.Span.Child(fmt.Sprintf("depth:k=%d", depth))
 		classes := sweepClasses(cu, cum)
 		em := newEmitter(fmt.Sprintf("%s@k=%d", p.Name(), depth), emit)
 		var emitErr error
@@ -249,6 +254,8 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		work.SimDropped += out.Stats.SimDropped
 		work.Patterns += out.Stats.Patterns
 		work.Backtracks += out.Stats.Backtracks
+		work.Decisions += out.Stats.Decisions
+		work.Implications += out.Stats.Implications
 		work.Elapsed += out.Stats.Elapsed
 		patterns = append(patterns, out.Patterns...)
 		states = append(states, out.States...)
@@ -260,6 +267,14 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 			Stats:         out.Stats,
 		}
 		sweep.Depths = append(sweep.Depths, ds)
+		// One ended child span per depth, mirroring the SweepResult entry —
+		// the acceptance check diffs this tree against the convergence table.
+		dspan.SetInt("frames", int64(depth))
+		dspan.SetInt("classes", int64(len(classes)))
+		dspan.SetInt("new_untestable", int64(newProjected))
+		dspan.SetInt("cum_untestable", int64(cumProjected))
+		dspan.End()
+		hDepth.ObserveSince(depthStart)
 		if p.OnDepth != nil {
 			if err := p.OnDepth(SweepDepth{
 				Frames: depth, Clone: clone, Universe: cu, Sites: sm,

@@ -4,6 +4,7 @@ import (
 	"olfui/internal/fault"
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 )
 
 // Pattern is one combinational input vector, indexed like the slice returned
@@ -94,6 +95,22 @@ func GradeSeq(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
 // single-site faults.
 func GradeSeqSites(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
 	observe []ObsPoint, faults []fault.FID, sm *fault.SiteMap) (*fault.Set, error) {
+	return GradeSeqSitesObs(n, u, stim, observe, faults, sm, nil)
+}
+
+// GradeSeqSitesObs is GradeSeqSites recording into a telemetry registry (nil
+// disables recording). Counters:
+//
+//	sim.gradeseq.lanes  fault lanes graded — one per fault, 63 share a word
+//	sim.gradeseq.words  fault-parallel simulation passes (63-lane batches);
+//	                    lanes/(63*words) is the lane utilization
+//	sim.gradeseq.cycles clock cycles simulated, summed over all passes
+func GradeSeqSitesObs(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
+	observe []ObsPoint, faults []fault.FID, sm *fault.SiteMap, reg *obs.Registry) (*fault.Set, error) {
+
+	mLanes := reg.Counter("sim.gradeseq.lanes")
+	mWords := reg.Counter("sim.gradeseq.words")
+	mCycles := reg.Counter("sim.gradeseq.cycles")
 
 	detected := fault.NewSet(u)
 	const goodSlot = logic.WordBits - 1
@@ -105,6 +122,9 @@ func GradeSeqSites(n *netlist.Netlist, u *fault.Universe, stim Stimulus,
 			hi = len(faults)
 		}
 		batch := faults[base:hi]
+		mLanes.Add(int64(len(batch)))
+		mWords.Inc()
+		mCycles.Add(int64(len(stim.Cycles)))
 
 		s, err := New(n)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"olfui/internal/fault"
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
+	"olfui/internal/obs"
 )
 
 // Grader is a reusable PPSFP combinational fault-grading engine: it keeps a
@@ -19,6 +20,26 @@ type Grader struct {
 	pis  []netlist.GateID
 	ffs  []netlist.GateID
 	obs  []ObsPoint
+
+	// Telemetry handles, armed by Instrument; nil handles no-op, so an
+	// uninstrumented grader pays one branch per record.
+	mPatterns   *obs.Counter
+	mWords      *obs.Counter
+	mFaultEvals *obs.Counter
+}
+
+// Instrument attaches a telemetry registry. Counters:
+//
+//	sim.grade.patterns    patterns graded (pre-packing)
+//	sim.grade.words       pattern-parallel 64-wide batches evaluated —
+//	                      patterns/(64*words) is the PV-word utilization
+//	sim.grade.fault_evals faulty-machine evaluations (per live fault per word)
+//
+// A nil registry resolves nil handles and recording stays a no-op.
+func (gr *Grader) Instrument(reg *obs.Registry) {
+	gr.mPatterns = reg.Counter("sim.grade.patterns")
+	gr.mWords = reg.Counter("sim.grade.words")
+	gr.mFaultEvals = reg.Counter("sim.grade.fault_evals")
 }
 
 // NewGrader builds a grader for the netlist. Detection points are the
@@ -92,6 +113,8 @@ func sliceOrNil(ps []Pattern, lo, hi int) []Pattern {
 // gradeBatch grades one word-sized batch of patterns, adding detections to
 // detected and skipping faults already there.
 func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.FID, detected *fault.Set) {
+	gr.mPatterns.Add(int64(len(patterns)))
+	gr.mWords.Inc()
 	piVals := make([]logic.PV, len(gr.pis))
 	for pi := range gr.pis {
 		v := logic.PVAllX
@@ -138,6 +161,7 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 				Site: fault.Site{Gate: rep, Pin: f.Pin}, SA: f.SA, Mask: ^uint64(0)})
 		}
 		apply(gr.bad)
+		gr.mFaultEvals.Inc()
 		for _, p := range gr.obs {
 			if gr.good.ObsVal(p).Diff(gr.bad.ObsVal(p)) != 0 {
 				detected.Add(fid)
