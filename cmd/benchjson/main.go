@@ -14,6 +14,12 @@
 //	    internal/obs Snapshot and carry non-zero engine and campaign totals
 //	    plus a span tree — the smoke test that the telemetry layer actually
 //	    recorded a campaign, not just that a file exists.
+//
+//	benchjson -compare old.json new.json -max-regress 25
+//	    compares two benchjson captures: every benchmark present in the
+//	    baseline must be present in the new capture, and its ns/op must not
+//	    regress by more than -max-regress percent. Improvements and
+//	    in-budget drifts print as a table; any violation exits non-zero.
 package main
 
 import (
@@ -42,6 +48,10 @@ type Result struct {
 func main() {
 	checkMetrics := flag.String("check-metrics", "",
 		"validate an olfui -metrics-out snapshot instead of parsing bench output")
+	compare := flag.String("compare", "",
+		"baseline benchjson capture; the new capture follows as a positional argument")
+	maxRegress := flag.Float64("max-regress", 25,
+		"allowed ns/op regression in percent for -compare")
 	flag.Parse()
 
 	if *checkMetrics != "" {
@@ -50,6 +60,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("benchjson: %s OK\n", *checkMetrics)
+		return
+	}
+	if *compare != "" {
+		// The documented invocation puts -max-regress after the positional
+		// new.json (benchjson -compare old.json new.json -max-regress 25);
+		// the flag package stops at the first positional, so the trailing
+		// form is picked up from the remaining arguments here.
+		args := flag.Args()
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: usage: benchjson -compare old.json new.json [-max-regress pct]")
+			os.Exit(2)
+		}
+		newPath := args[0]
+		for i := 1; i < len(args); i++ {
+			val := ""
+			switch {
+			case args[i] == "-max-regress" && i+1 < len(args):
+				val, i = args[i+1], i+1
+			case strings.HasPrefix(args[i], "-max-regress="):
+				val = strings.TrimPrefix(args[i], "-max-regress=")
+			default:
+				fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q after the new capture\n", args[i])
+				os.Exit(2)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -max-regress value %q\n", val)
+				os.Exit(2)
+			}
+			*maxRegress = v
+		}
+		if err := compareBench(*compare, newPath, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -112,6 +157,66 @@ func parseBench(r *os.File) ([]Result, error) {
 		out = append(out, res)
 	}
 	return out, sc.Err()
+}
+
+// loadResults reads one benchjson capture (a JSON array of Results).
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: does not parse as a benchjson capture: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: capture holds no benchmarks", path)
+	}
+	return out, nil
+}
+
+// compareBench enforces the per-benchmark ns/op regression budget of the new
+// capture against the baseline. Every baseline benchmark must be present in
+// the new capture — a silently dropped benchmark would otherwise pass the
+// budget by not being measured.
+func compareBench(oldPath, newPath string, maxPct float64) error {
+	oldRes, err := loadResults(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := loadResults(newPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]Result, len(newRes))
+	for _, r := range newRes {
+		byName[r.Name] = r
+	}
+	bad := 0
+	for _, o := range oldRes {
+		n, ok := byName[o.Name]
+		if !ok {
+			fmt.Printf("%-40s MISSING from %s\n", o.Name, newPath)
+			bad++
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			return fmt.Errorf("%s: baseline %s has non-positive ns/op", oldPath, o.Name)
+		}
+		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		verdict := "ok"
+		if pct > maxPct {
+			verdict = fmt.Sprintf("REGRESSED beyond %.1f%% budget", maxPct)
+			bad++
+		}
+		fmt.Printf("%-40s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, pct, verdict)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed or missing (budget %.1f%%)", bad, maxPct)
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within %.1f%% of %s\n", len(oldRes), maxPct, oldPath)
+	return nil
 }
 
 // checkSnapshot asserts the snapshot records a real campaign.

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCapture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBench pins the regression gate: within-budget drift passes,
+// over-budget regressions and benchmarks missing from the new capture fail.
+func TestCompareBench(t *testing.T) {
+	old := writeCapture(t, "old.json", `[
+	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1000},
+	  {"name": "BenchmarkB", "iterations": 1, "ns_per_op": 2000}
+	]`)
+
+	within := writeCapture(t, "within.json", `[
+	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1100},
+	  {"name": "BenchmarkB", "iterations": 1, "ns_per_op": 1500}
+	]`)
+	if err := compareBench(old, within, 25); err != nil {
+		t.Errorf("10%% drift under a 25%% budget: %v", err)
+	}
+
+	regressed := writeCapture(t, "regressed.json", `[
+	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1400},
+	  {"name": "BenchmarkB", "iterations": 1, "ns_per_op": 2000}
+	]`)
+	if err := compareBench(old, regressed, 25); err == nil {
+		t.Error("40% regression under a 25% budget: want error")
+	}
+	// The same capture passes once the budget allows it.
+	if err := compareBench(old, regressed, 50); err != nil {
+		t.Errorf("40%% regression under a 50%% budget: %v", err)
+	}
+
+	missing := writeCapture(t, "missing.json", `[
+	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1000}
+	]`)
+	if err := compareBench(old, missing, 25); err == nil {
+		t.Error("benchmark dropped from the new capture: want error")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing-benchmark error %q does not say so", err)
+	}
+
+	empty := writeCapture(t, "empty.json", `[]`)
+	if err := compareBench(old, empty, 25); err == nil {
+		t.Error("empty new capture: want error")
+	}
+	if err := compareBench(old, filepath.Join(t.TempDir(), "absent.json"), 25); err == nil {
+		t.Error("unreadable new capture: want error")
+	}
+}

@@ -24,6 +24,12 @@
 //	                        once-per-second rate summary (classes/s, live
 //	                        classes, ETA) on stderr, leaving stdout to the
 //	                        report
+//
+// Every provider screens provably unactivatable faults through a static
+// learning pass before searching (see ARCHITECTURE.md "Learning & batched
+// search"); -no-learn disables the pass — verdicts are unchanged, runs are
+// just slower — and the report's "learning:" line summarizes facts learned
+// and classes screened.
 package main
 
 import (
@@ -56,6 +62,7 @@ type config struct {
 	sweep          bool   // adaptive sequential-depth sweep of the reach scenario
 	maxFrames      int    // sweep depth budget; 0 defaults, implies -sweep when set
 	patterns       string // stimulus file for the pattern-import provider
+	noLearn        bool   // skip the static learning pass (FIRE-style screening)
 	progress       bool
 	selfcheck      bool
 	metricsOut     string // telemetry snapshot JSON path, written on exit
@@ -106,6 +113,8 @@ func main() {
 	flag.IntVar(&cfg.maxFrames, "max-frames", 0,
 		"depth budget for the sweep (0 = -frames+4); setting it implies -sweep")
 	flag.StringVar(&cfg.patterns, "patterns", "", "mission stimulus file to grade (see cmd/olfui/patterns.go for the format)")
+	flag.BoolVar(&cfg.noLearn, "no-learn", false,
+		"disable the static learning pass (constant propagation + recursive learning) that screens provably unactivatable faults before PODEM; verdicts are unchanged, only slower")
 	flag.BoolVar(&cfg.progress, "progress", false, "print per-provider delta merges and completions")
 	flag.BoolVar(&cfg.selfcheck, "selfcheck", false,
 		"exhaustively verify sampled untestability verdicts (small widths only)")
@@ -150,6 +159,13 @@ func runReport(ctx context.Context, cfg config, reg *obs.Registry) error {
 	}
 	fmt.Print(r.String())
 
+	if !cfg.noLearn {
+		// Screening telemetry: facts are summed over every learning build of
+		// the campaign (baseline, scenario clones, sweep depths), screened
+		// classes over every provider's pre-search FIRE screen.
+		fmt.Printf("  learning: %d facts learned, %d classes screened untestable before search\n",
+			reg.Counter("learn.facts").Load(), reg.Counter("atpg.learned_untestable").Load())
+	}
 	printExamples(r, r.Universe)
 	if err := crossCheck(r, r.Universe); err != nil {
 		return err
@@ -204,7 +220,7 @@ func runCampaign(ctx context.Context, cfg config, reg *obs.Registry) (*flow.Repo
 	}
 
 	opts := flow.Options{
-		ATPG:           atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit},
+		ATPG:           atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit, NoLearn: cfg.noLearn},
 		Shards:         cfg.shards,
 		ScenarioShards: cfg.scenarioShards,
 		MaxFrames:      cfg.sweepBudget(),

@@ -32,6 +32,42 @@ func BenchmarkGenerateAllBench(b *testing.B) {
 	}
 }
 
+// TestBenchVerdictsEqualWithLearning is the BENCH_PR7 equal-verdicts pin: the
+// committed benchmark numbers only count if the learning screen resolves the
+// exact same universe to the exact same classification as the plain engine.
+// It also asserts the screen actually fires on the benchmark circuit, so the
+// measured speedup includes it.
+func TestBenchVerdictsEqualWithLearning(t *testing.T) {
+	n := buildBench(8)
+	u := fault.NewUniverse(n)
+	withLearn, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{NoLearn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withLearn.Stats.Aborted != 0 || without.Stats.Aborted != 0 {
+		t.Fatal("aborts on the benchmark; verdict equality only holds absent aborts")
+	}
+	if withLearn.Stats.Learned == 0 {
+		t.Fatal("learning screened nothing on the benchmark circuit")
+	}
+	if withLearn.Stats.Detected != without.Stats.Detected ||
+		withLearn.Stats.Untestable != without.Stats.Untestable {
+		t.Fatalf("tallies differ: %d/%d with learning vs %d/%d without",
+			withLearn.Stats.Detected, withLearn.Stats.Untestable,
+			without.Stats.Detected, without.Stats.Untestable)
+	}
+	for id := 0; id < u.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if a, b := withLearn.Status.Get(fid), without.Status.Get(fid); a != b {
+			t.Errorf("%s: %v with learning, %v without", u.Describe(u.FaultOf(fid)), a, b)
+		}
+	}
+}
+
 // BenchmarkCampaignBench measures the full sharded campaign — baseline
 // shards plus the three scenarios streaming into one merge.
 func BenchmarkCampaignBench(b *testing.B) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,8 +48,18 @@ func startDebugServer(addr string, reg *obs.Registry) (string, func(), error) {
 		enc.Encode(reg.Snapshot()) //nolint:errcheck // best-effort debug endpoint
 	})
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown/Close
+	return ln.Addr().String(), func() {
+		// Graceful first: a Close here would abort in-flight /metrics
+		// responses mid-body (a scraper polling at exit sees a truncated
+		// snapshot). Shutdown drains them; the deadline bounds exit latency,
+		// falling back to Close for handlers that outlive it.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close() //nolint:errcheck // best-effort after deadline
+		}
+	}, nil
 }
 
 // progressReporter renders -progress on stderr: per-provider completion lines
@@ -65,6 +76,7 @@ type progressReporter struct {
 	classes    *obs.Counter
 	detected   *obs.Counter
 	untestable *obs.Counter
+	retargeted *obs.Counter
 	deltas     *obs.Counter
 
 	// Rate state, touched only by the ticker goroutine and (after it has
@@ -84,6 +96,7 @@ func newProgressReporter(w io.Writer, reg *obs.Registry, interval time.Duration)
 		classes:    reg.Counter("atpg.classes"),
 		detected:   reg.Counter("atpg.classes.detected"),
 		untestable: reg.Counter("atpg.classes.untestable"),
+		retargeted: reg.Counter("atpg.classes.retargeted"),
 		deltas:     reg.Counter("flow.deltas"),
 		start:      now,
 		lastTime:   now,
@@ -142,8 +155,11 @@ func (p *progressReporter) summary(final bool) {
 			resolved, el.Round(time.Millisecond), rate, p.deltas.Load())
 		return
 	}
+	// Depth sweeps re-count re-targeted classes on atpg.classes; the
+	// retargeted counter backs those duplicates out so live never
+	// over-reports the classes still awaiting resolution.
 	classes := p.classes.Load()
-	live := classes - resolved
+	live := classes - resolved - p.retargeted.Load()
 	rate := 0.0
 	if dt := now.Sub(p.lastTime).Seconds(); dt > 0 {
 		rate = float64(resolved-p.lastResolved) / dt

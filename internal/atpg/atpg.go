@@ -108,6 +108,25 @@ type Options struct {
 	// member but not another void that argument; restrict such maps to
 	// Engine.GenerateInjection, which spreads nothing.
 	Sites *fault.SiteMap
+	// Learn optionally supplies a prebuilt static learning pass
+	// (BuildLearning) for the netlist. GenerateAll consults it to emit
+	// provably untestable classes in constant time before any search
+	// dispatches. Like Annotations it is read-only, so one build per
+	// constrained clone is shared across engines, shards, and sweep depths.
+	// Nil makes GenerateAll build one internally unless NoLearn is set.
+	Learn *Learning
+	// NoLearn disables the static learning screen entirely — the escape
+	// hatch for debugging and for A/B-ing verdicts with and without it
+	// (olfui -no-learn). Verdicts are identical either way; only the work
+	// split between screen and search changes.
+	NoLearn bool
+	// ProbeThreshold sets how many backtracks a search must burn before the
+	// 64-way batched decision probe engages; easy faults below it never pay
+	// the probe's extra pass. 0 means DefaultProbeThreshold; negative
+	// disables probing. Probing prunes only provably dead branches and
+	// steers the search order, so verdicts are probe-invariant absent
+	// backtrack-limit aborts.
+	ProbeThreshold int
 	// Annotations optionally supplies precomputed testability annotations
 	// for the netlist (Netlist.Annotate). They are read-only during
 	// generation, so one Annotate pass can be shared across the engines of
@@ -250,11 +269,25 @@ type Engine struct {
 	stack      []decision
 	backtracks int
 
-	dfront  []netlist.GateID
-	visited []bool      // per net, X-path DFS scratch
+	dfront []netlist.GateID
+	// X-path DFS scratch: visited is epoch-stamped (valid when equal to
+	// visitEp) so each call costs O(touched), not O(nets) clearing, and the
+	// DFS stack is an engine-owned arena instead of a per-call allocation.
+	visited []uint32
+	visitEp uint32
+	xstack  []netlist.NetID
 	objs    []objective // nextObjectives scratch
 	demand  []objDemand
 	buckets [][]netlist.NetID // multiple-backtrace worklist by level
+
+	// Batched-probe arenas (see probe.go): dual-rail ternary values per net,
+	// packed candidate inputs per assignable, and the slot-to-candidate maps.
+	probeAfter   int // backtracks before probing engages; <0 disables
+	probeIn      []logic.PV
+	probeGood    []logic.PV
+	probeBad     []logic.PV
+	probeCandIdx [logic.WordBits]int32
+	probeCandVal [logic.WordBits]logic.V
 }
 
 // New builds an engine for the netlist. It fails only if the netlist does not
@@ -289,7 +322,17 @@ func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Optio
 		val:        make([]logic.D5, len(n.Nets)),
 		injOut:     make([]bool, len(n.Gates)),
 		injPinMask: make([]uint64, len(n.Gates)),
-		visited:    make([]bool, len(n.Nets)),
+		visited:    make([]uint32, len(n.Nets)),
+		probeGood:  make([]logic.PV, len(n.Nets)),
+		probeBad:   make([]logic.PV, len(n.Nets)),
+	}
+	switch {
+	case opts.ProbeThreshold < 0:
+		e.probeAfter = -1
+	case opts.ProbeThreshold == 0:
+		e.probeAfter = DefaultProbeThreshold
+	default:
+		e.probeAfter = opts.ProbeThreshold
 	}
 	for _, p := range obs {
 		if p.Pin < 64 {
@@ -313,6 +356,7 @@ func NewWithAnnotations(n *netlist.Netlist, ann *netlist.Annotations, opts Optio
 		e.deadIn[i] = len(n.Nets[net].Fanout) == 0
 	}
 	e.assigns = make([]logic.V, len(e.assignable))
+	e.probeIn = make([]logic.PV, len(e.assignable))
 	e.demand = make([]objDemand, len(e.assignable))
 	maxLvl := int32(0)
 	for _, l := range ann.Level {

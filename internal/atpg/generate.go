@@ -23,6 +23,10 @@ type Stats struct {
 	Untestable int // classes proven untestable
 	Aborted    int // classes abandoned at the backtrack limit
 
+	// Learned counts the classes the static learning screen proved
+	// untestable before any search dispatched (a subset of Untestable).
+	Learned int
+
 	SimDropped int // classes detected by fault simulation alone, never targeted
 	Patterns   int // patterns in the emitted test set
 	Backtracks int // total decision flips across all targeted faults
@@ -52,6 +56,7 @@ func (s *Stats) Add(t Stats) {
 	s.Detected += t.Detected
 	s.Untestable += t.Untestable
 	s.Aborted += t.Aborted
+	s.Learned += t.Learned
 	s.SimDropped += t.SimDropped
 	s.Patterns += t.Patterns
 	s.Backtracks += t.Backtracks
@@ -162,6 +167,12 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 			return nil, err
 		}
 	}
+	learn := opts.Learn
+	if learn == nil && !opts.NoLearn {
+		if learn, err = BuildLearning(n, opts.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	var cancelFlag atomic.Bool
 	engines := make([]*Engine, workers)
 	for i := range engines {
@@ -202,6 +213,7 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 		mAbortCancel  = reg.Counter("atpg.abort.cancel")
 		mDropGraded   = reg.Counter("atpg.drop.graded")
 		mDropHits     = reg.Counter("atpg.drop.hits")
+		mLearned      = reg.Counter("atpg.learned_untestable")
 		hSearch       = reg.Histogram("atpg.search_ns")
 	)
 	mClasses.Add(int64(len(reps)))
@@ -223,6 +235,28 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 		livePos[moved] = i
 		live = live[:last]
 		livePos[fid] = -1
+	}
+
+	// FIRE-style screen: classes whose joint injection provably can never
+	// activate resolve Untestable in constant time — before any worker, any
+	// pattern grading, or any search sees them. The verdict is the same one
+	// the engine would prove by exhaustion (such searches close without a
+	// single decision), so screening is invisible to everything downstream
+	// except the work saved; spreading over the collapse at the end applies
+	// to screened classes exactly as to searched ones.
+	if learn != nil {
+		for _, fid := range reps {
+			if !learn.ScreenInjection(opts.Sites.Expand(u.FaultOf(fid))) {
+				continue
+			}
+			status.Set(fid, fault.Untestable)
+			st.Untestable++
+			st.Learned++
+			mUntestable.Inc()
+			mLearned.Inc()
+			unlive(fid)
+			commit(fid, Untestable)
+		}
 	}
 
 	// The coordinator owns the status map: it dispatches still-undetected

@@ -1,0 +1,285 @@
+package atpg
+
+import (
+	"time"
+
+	"olfui/internal/fault"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+	"olfui/internal/obs"
+)
+
+// Learning is the product of the static learning pass: fault-independent
+// value-reachability facts about one netlist, computed once per constrained
+// clone and consulted in constant time before every search.
+//
+// The single fact kind is cantBe(net, v): in no complete assignment of the
+// controllable inputs (primary inputs and flip-flop pseudo-inputs each taking
+// a definite 0/1, ties driving their constants) does the net take value v.
+// Facts are derived by a justification fixpoint that subsumes ternary
+// constant propagation and adds depth-1 recursive learning:
+//
+//   - a gate output cannot take v if every local input combination that
+//     produces v (its justifications) is infeasible;
+//   - a justification is infeasible if one of its literals is already proven
+//     unreachable, or if two of its literals force the same net — after
+//     normalizing each literal through buffer/inverter chains, which is the
+//     depth-1 recursive step — to different values. The normalization is what
+//     catches reconvergent structure like XOR(a, NOT a) or AND(a, NOT a)
+//     that plain constant propagation leaves at X.
+//
+// Soundness: tie seeds are trivially correct, and inductively, a complete
+// assignment giving out=v must satisfy some justification literally, which
+// contradicts either an inductively-correct fact or the functional
+// determinism of a buffer/inverter chain. The facts are properties of the
+// fault-free machine only, so they are independent of the observation set —
+// one Learning serves every obs selection on the same clone.
+//
+// A Learning is read-only after BuildLearning and safe to share across
+// engines, shards, and concurrent GenerateAll runs on the same netlist.
+type Learning struct {
+	n *netlist.Netlist
+	// cantBe[2*net+v] — net proven unable to take value v.
+	cantBe []bool
+	facts  int
+	lits   []lit // fixpoint scratch
+}
+
+// lit is one literal of a justification: net must take value v.
+type lit struct {
+	net netlist.NetID
+	v   logic.V
+}
+
+// BuildLearning runs the static learning pass for a netlist. Cost is a small
+// number of worklist passes over the gate array — negligible next to a single
+// PODEM search — recorded in the "learn.build_ns" histogram with the fact
+// count in the "learn.facts" counter.
+func BuildLearning(n *netlist.Netlist, reg *obs.Registry) (*Learning, error) {
+	start := time.Now()
+	graph, err := n.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	l := &Learning{n: n, cantBe: make([]bool, 2*len(n.Nets))}
+
+	inQueue := make([]bool, len(n.Gates))
+	queue := make([]netlist.GateID, 0, len(graph.Order()))
+	push := func(g netlist.GateID) {
+		if !inQueue[g] {
+			inQueue[g] = true
+			queue = append(queue, g)
+		}
+	}
+	mark := func(net netlist.NetID, v logic.V) {
+		idx := 2*int(net) + int(v)
+		if l.cantBe[idx] {
+			return
+		}
+		l.cantBe[idx] = true
+		l.facts++
+		for _, c := range graph.Consumers(net) {
+			push(c)
+		}
+	}
+
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.KTie0:
+			mark(n.Gates[i].Out, logic.One)
+		case netlist.KTie1:
+			mark(n.Gates[i].Out, logic.Zero)
+		}
+	}
+	// Examine every evaluable gate at least once (topological order converges
+	// fastest), then chase newly derived facts to their consumers.
+	for _, gid := range graph.Order() {
+		push(gid)
+	}
+	for len(queue) > 0 {
+		gid := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[gid] = false
+		g := &n.Gates[gid]
+		if g.Out == netlist.InvalidNet {
+			continue // KOutput marker
+		}
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			if !l.cantBe[2*int(g.Out)+int(v)] && l.unjustifiable(g, v) {
+				mark(g.Out, v)
+			}
+		}
+	}
+
+	reg.Counter("learn.facts").Add(int64(l.facts))
+	reg.Histogram("learn.build_ns").ObserveSince(start)
+	return l, nil
+}
+
+// Facts returns the number of (net, value) unreachability facts proven.
+func (l *Learning) Facts() int {
+	if l == nil {
+		return 0
+	}
+	return l.facts
+}
+
+// CantBe reports whether the net is proven unable to take v in any complete
+// input assignment. False negatives are expected (the pass is incomplete);
+// true is always a proof.
+func (l *Learning) CantBe(net netlist.NetID, v logic.V) bool {
+	return l != nil && v.IsKnown() && l.cantBe[2*int(net)+int(v)]
+}
+
+// ScreenInjection reports whether the joint injection is provably untestable
+// under the learned facts — the FIRE-style screen. A faulty machine diverges
+// from the good machine first at an injection site whose good value differs
+// from the stuck value; if every site's good net value provably never takes
+// the complement of SA, no complete assignment activates the fault anywhere,
+// the two machines stay identical, and no observation set can ever tell them
+// apart. The claim is therefore sound for any obs selection and for the
+// whole multi-site injection at once.
+func (l *Learning) ScreenInjection(inj fault.Injection) bool {
+	if l == nil || !inj.SA.IsKnown() || len(inj.Sites) == 0 {
+		return false
+	}
+	act := inj.SA.Not()
+	for _, s := range inj.Sites {
+		g := &l.n.Gates[s.Gate]
+		net := g.Out
+		if s.Pin != fault.OutputPin {
+			net = g.Ins[s.Pin]
+		}
+		if !l.cantBe[2*int(net)+int(act)] {
+			return false
+		}
+	}
+	return true
+}
+
+// unjustifiable reports whether every local justification of out=v is
+// infeasible under the current facts.
+func (l *Learning) unjustifiable(g *netlist.Gate, v logic.V) bool {
+	switch g.Kind {
+	case netlist.KBuf:
+		return l.litBad(g.Ins[0], v)
+	case netlist.KNot:
+		return l.litBad(g.Ins[0], v.Not())
+	case netlist.KAnd, netlist.KNand:
+		one := v == logic.One
+		if g.Kind == netlist.KNand {
+			one = !one
+		}
+		if one {
+			// AND-family output is 1 only when every input is 1.
+			return !l.allInputsFeasible(g, logic.One)
+		}
+		// Output 0 needs some input at 0.
+		for _, in := range g.Ins {
+			if !l.litBad(in, logic.Zero) {
+				return false
+			}
+		}
+		return true
+	case netlist.KOr, netlist.KNor:
+		zero := v == logic.Zero
+		if g.Kind == netlist.KNor {
+			zero = !zero
+		}
+		if zero {
+			return !l.allInputsFeasible(g, logic.Zero)
+		}
+		for _, in := range g.Ins {
+			if !l.litBad(in, logic.One) {
+				return false
+			}
+		}
+		return true
+	case netlist.KXor, netlist.KXnor:
+		want1 := v == logic.One
+		if g.Kind == netlist.KXnor {
+			want1 = !want1
+		}
+		a, b := g.Ins[0], g.Ins[1]
+		if want1 {
+			return !l.pairFeasible(a, logic.Zero, b, logic.One) &&
+				!l.pairFeasible(a, logic.One, b, logic.Zero)
+		}
+		return !l.pairFeasible(a, logic.Zero, b, logic.Zero) &&
+			!l.pairFeasible(a, logic.One, b, logic.One)
+	case netlist.KMux2:
+		// The select is 0 or 1 in every complete assignment, so these two
+		// justifications cover all of them.
+		s, d0, d1 := g.Ins[netlist.MuxS], g.Ins[netlist.MuxD0], g.Ins[netlist.MuxD1]
+		return !l.pairFeasible(s, logic.Zero, d0, v) &&
+			!l.pairFeasible(s, logic.One, d1, v)
+	}
+	return false
+}
+
+// resolve normalizes a literal through buffer/inverter driver chains to its
+// root net and adjusted polarity.
+func (l *Learning) resolve(net netlist.NetID, v logic.V) (netlist.NetID, logic.V) {
+	for {
+		d := l.n.Nets[net].Driver
+		if d == netlist.InvalidGate {
+			return net, v
+		}
+		switch g := &l.n.Gates[d]; g.Kind {
+		case netlist.KBuf:
+			net = g.Ins[0]
+		case netlist.KNot:
+			net = g.Ins[0]
+			v = v.Not()
+		default:
+			return net, v
+		}
+	}
+}
+
+// litBad reports whether the literal (or its normalized root) is already
+// proven unreachable.
+func (l *Learning) litBad(net netlist.NetID, v logic.V) bool {
+	if l.cantBe[2*int(net)+int(v)] {
+		return true
+	}
+	r, rv := l.resolve(net, v)
+	return l.cantBe[2*int(r)+int(rv)]
+}
+
+// conjFeasible reports whether a conjunction of literals can hold in some
+// complete assignment as far as the facts show. It rewrites each literal to
+// its root in place, so callers must pass scratch they own.
+func (l *Learning) conjFeasible(lits []lit) bool {
+	for i, t := range lits {
+		if l.cantBe[2*int(t.net)+int(t.v)] {
+			return false
+		}
+		r, rv := l.resolve(t.net, t.v)
+		if l.cantBe[2*int(r)+int(rv)] {
+			return false
+		}
+		lits[i] = lit{net: r, v: rv}
+	}
+	for i := range lits {
+		for j := i + 1; j < len(lits); j++ {
+			if lits[i].net == lits[j].net && lits[i].v != lits[j].v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (l *Learning) allInputsFeasible(g *netlist.Gate, v logic.V) bool {
+	l.lits = l.lits[:0]
+	for _, in := range g.Ins {
+		l.lits = append(l.lits, lit{net: in, v: v})
+	}
+	return l.conjFeasible(l.lits)
+}
+
+func (l *Learning) pairFeasible(a netlist.NetID, av logic.V, b netlist.NetID, bv logic.V) bool {
+	l.lits = append(l.lits[:0], lit{net: a, v: av}, lit{net: b, v: bv})
+	return l.conjFeasible(l.lits)
+}

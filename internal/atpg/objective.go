@@ -181,13 +181,22 @@ func (e *Engine) sitePathOpenAt(i int) bool {
 // search: under restricted observability (e.g. output-only, or a subset of
 // outputs) a path into an unobserved flip-flop or output is a dead end.
 func (e *Engine) xPathFrom(roots []netlist.NetID) bool {
-	for i := range e.visited {
-		e.visited[i] = false
+	// Epoch stamps make "visited" reset O(1) and the stack is engine-owned:
+	// this DFS runs once or more per decision step, so it must not clear an
+	// O(nets) array or allocate.
+	e.visitEp++
+	if e.visitEp == 0 { // stamp wraparound: invalidate stale entries
+		for i := range e.visited {
+			e.visited[i] = 0
+		}
+		e.visitEp = 1
 	}
-	var stack []netlist.NetID
+	ep := e.visitEp
+	stack := e.xstack[:0]
+	defer func() { e.xstack = stack[:0] }()
 	for _, net := range roots {
-		if !e.visited[net] {
-			e.visited[net] = true
+		if e.visited[net] != ep {
+			e.visited[net] = ep
 			stack = append(stack, net)
 		}
 	}
@@ -205,10 +214,10 @@ func (e *Engine) xPathFrom(roots []netlist.NetID) bool {
 				// the pin check above.
 				continue
 			}
-			if g.Out == netlist.InvalidNet || e.visited[g.Out] || !e.val[g.Out].HasX() {
+			if g.Out == netlist.InvalidNet || e.visited[g.Out] == ep || !e.val[g.Out].HasX() {
 				continue
 			}
-			e.visited[g.Out] = true
+			e.visited[g.Out] = ep
 			stack = append(stack, g.Out)
 		}
 	}

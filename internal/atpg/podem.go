@@ -50,9 +50,9 @@ func (e *Engine) GenerateInjection(inj fault.Injection) (res Result) {
 	e.imply()
 	implications++
 	for {
-		if e.cancel != nil && e.cancel.Load() {
-			return Result{Verdict: Aborted, Abort: AbortCancel}
-		}
+		// A completed detection wins over cancellation: if the implication
+		// pass we already paid for reached an observation point, the pattern
+		// is earned — returning Aborted(cancel) here would throw it away.
 		if e.detected() {
 			return Result{
 				Verdict: Detected,
@@ -60,15 +60,32 @@ func (e *Engine) GenerateInjection(inj fault.Injection) (res Result) {
 				State:   append(sim.Pattern(nil), e.assigns[e.numPI:]...),
 			}
 		}
+		if e.cancel != nil && e.cancel.Load() {
+			return Result{Verdict: Aborted, Abort: AbortCancel}
+		}
 		advanced := false
 		for _, obj := range e.nextObjectives() {
-			if idx, v, ok := e.backtrace(obj); ok {
-				e.assigns[idx] = v
-				e.stack = append(e.stack, decision{idx: idx, val: v})
-				decisions++
-				advanced = true
-				break
+			idx, v, ok := e.backtrace(obj)
+			if !ok {
+				continue
 			}
+			flipped := false
+			if e.probeAfter >= 0 && e.backtracks >= e.probeAfter {
+				var oc probeOutcome
+				idx, v, oc = e.probeDecision(idx, v)
+				if oc == probeConflict {
+					// Both branches of the backtraced input are proven dead,
+					// so the whole current subtree is dead: fall through to
+					// the backtrack path without advancing.
+					break
+				}
+				flipped = oc == probePushProven
+			}
+			e.assigns[idx] = v
+			e.stack = append(e.stack, decision{idx: idx, val: v, flipped: flipped})
+			decisions++
+			advanced = true
+			break
 		}
 		if !advanced {
 			if !e.backtrack() {

@@ -1,0 +1,70 @@
+package atpg
+
+import (
+	"context"
+	"testing"
+
+	"olfui/internal/fault"
+	"olfui/internal/testutil"
+)
+
+// TestProbeVerdictsMatchScalar is the batched-search identity pin: running the
+// universe with the 64-way probe layer engaged from the first backtrack must
+// produce exactly the scalar engine's verdicts — probing prunes proven-dead
+// branches and reorders the search, it never changes what is provable.
+// Learning is disabled on both sides so every fault actually goes through the
+// decision loop under test.
+func TestProbeVerdictsMatchScalar(t *testing.T) {
+	run := func(t *testing.T, name string, u *fault.Universe) {
+		t.Helper()
+		probed, err := GenerateAll(context.Background(), u.N, u,
+			Options{NoLearn: true, ProbeThreshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := GenerateAll(context.Background(), u.N, u,
+			Options{NoLearn: true, ProbeThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probed.Stats.Aborted != 0 || scalar.Stats.Aborted != 0 {
+			t.Fatalf("%s: aborts; identity only holds absent aborts", name)
+		}
+		for id := 0; id < u.NumFaults(); id++ {
+			fid := fault.FID(id)
+			if a, b := probed.Status.Get(fid), scalar.Status.Get(fid); a != b {
+				t.Errorf("%s %s: %v probed, %v scalar",
+					name, u.Describe(u.FaultOf(fid)), a, b)
+			}
+		}
+	}
+
+	run(t, "bench", fault.NewUniverse(benchCircuit(t)))
+	for seed := int64(21); seed <= 28; seed++ {
+		n := testutil.RandomNetlist(seed, testutil.RandOpts{Inputs: 4, Gates: 18, FFs: 2, Outputs: 2})
+		run(t, "random", fault.NewUniverse(n))
+	}
+}
+
+// TestProbeThresholdResolution pins the Options.ProbeThreshold encoding:
+// zero selects the default, negatives disable, positives pass through.
+func TestProbeThresholdResolution(t *testing.T) {
+	n := benchCircuit(t)
+	for _, tc := range []struct {
+		opt  int
+		want int
+	}{
+		{0, DefaultProbeThreshold},
+		{-1, -1},
+		{1, 1},
+		{100, 100},
+	} {
+		e, err := New(n, Options{ProbeThreshold: tc.opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.probeAfter != tc.want {
+			t.Errorf("ProbeThreshold %d resolved to %d, want %d", tc.opt, e.probeAfter, tc.want)
+		}
+	}
+}

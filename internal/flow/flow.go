@@ -203,6 +203,9 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	if opts.ATPG.Annotations != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Annotations must be nil; providers annotate their own netlists")
 	}
+	if opts.ATPG.Learn != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Learn must be nil; providers build their own learning caches (NoLearn disables)")
+	}
 	if opts.ATPG.Progress != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Progress must be nil; use Options.Progress for campaign events")
 	}
@@ -226,15 +229,22 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		Progress: opts.Progress,
 		Metrics:  opts.Metrics,
 	})
-	// One annotation pass serves every baseline shard (scenario providers
-	// annotate their own clones).
+	// One annotation pass and one learning pass serve every baseline shard
+	// (scenario providers annotate and learn on their own clones).
 	ann, err := n.Annotate()
 	if err != nil {
 		return nil, fmt.Errorf("flow: annotate: %w", err)
 	}
+	var learn *atpg.Learning
+	if !opts.ATPG.NoLearn {
+		if learn, err = atpg.BuildLearning(n, opts.Metrics); err != nil {
+			return nil, fmt.Errorf("flow: learn: %w", err)
+		}
+	}
 	base := NewBaselineProviders(u, opts.Shards)
 	for _, p := range base {
 		p.Ann = ann
+		p.Learn = learn
 		if err := c.Add(p); err != nil {
 			return nil, err
 		}

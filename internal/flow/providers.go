@@ -79,6 +79,11 @@ type BaselineProvider struct {
 	// shard of the plan (annotations are read-only during generation);
 	// RunCampaign fills it in. Nil lets GenerateAll compute its own.
 	Ann *netlist.Annotations
+	// Learn optionally shares one static learning pass (atpg.BuildLearning)
+	// the same way — learned facts are properties of the netlist alone, so
+	// every shard screens against the same build; RunCampaign fills it in.
+	// Nil lets GenerateAll build its own (or skip it under NoLearn).
+	Learn *atpg.Learning
 	// Outcome holds the shard's full ATPG result after a successful Run:
 	// the emitted test set and stats, with Status spread over the shard's
 	// classes. MergeOutcomes folds the shards back into one baseline.
@@ -116,6 +121,7 @@ func (p *BaselineProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 	opts := env.ATPG
 	opts.Classes = p.Shard.Classes
 	opts.Annotations = p.Ann
+	opts.Learn = p.Learn
 	opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 		if emitErr == nil {
 			emitErr = em.add(fid, verdictStatus(v))
@@ -235,6 +241,7 @@ type scenarioPrep struct {
 	sm     *fault.SiteMap
 	cu     *fault.Universe
 	ann    *netlist.Annotations
+	learn  *atpg.Learning
 	shards []fault.Shard
 }
 
@@ -266,6 +273,15 @@ func (sp *scenarioPrep) build(env Env, sc Scenario, shardOf int) error {
 			return
 		}
 		sp.clone, sp.sm, sp.cu, sp.ann = clone, sm, cu, ann
+		if !env.ATPG.NoLearn {
+			// The learning cache is keyed by the clone: facts depend only on
+			// the constrained netlist (not the obs selection), so one build
+			// serves every shard of the scenario.
+			if sp.learn, err = atpg.BuildLearning(clone, env.Metrics); err != nil {
+				sp.err = err
+				return
+			}
+		}
 		if shardOf > 1 {
 			sp.shards = fault.PlanShards(cu, nil, shardOf)
 		}
@@ -331,6 +347,7 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 		opts.Sites = sm
 	}
 	opts.Annotations = p.prep.ann
+	opts.Learn = p.prep.learn
 	if p.ShardOf > 1 {
 		// In range by the surplus-shard early return above; PlanShards
 		// hands out non-nil class lists, so an empty shard targets nothing

@@ -173,6 +173,15 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 	if err != nil {
 		return err
 	}
+	var learn *atpg.Learning
+	if !env.ATPG.NoLearn {
+		// Learned facts are netlist properties, so the cache is rebuilt
+		// whenever the clone is extended (below) and reused as-is within a
+		// depth.
+		if learn, err = atpg.BuildLearning(clone, env.Metrics); err != nil {
+			return err
+		}
+	}
 
 	// missionLive: the fault's site net still has readers on the clone, so
 	// the verdict is about mission behavior rather than a disconnected pin.
@@ -189,11 +198,28 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		cumProjected     int
 	)
 	hDepth := env.Metrics.Histogram("flow.sweep.depth_ns")
+	// Re-targeting accounting: every depth re-counts its targets on the
+	// atpg.classes counter, but a re-targeted class that is not currently
+	// resolved (cum Detected resolves; Untestable never re-targets) was
+	// already counted live by the depth that first targeted it — without a
+	// correction, progress views computing live = classes - resolved would
+	// report it twice. Previously-Detected re-targets self-cancel instead:
+	// they re-increment both the classes and the resolution counters.
+	mRetarget := env.Metrics.Counter("atpg.classes.retargeted")
+	targeted := map[fault.FID]bool{}
 	for {
 		depth := ur.Frames()
 		depthStart := time.Now()
 		dspan := env.Span.Child(fmt.Sprintf("depth:k=%d", depth))
 		classes := sweepClasses(cu, cum)
+		retargeted := int64(0)
+		for _, c := range classes {
+			if targeted[c] && cum.Get(c) != fault.Detected {
+				retargeted++
+			}
+			targeted[c] = true
+		}
+		mRetarget.Add(retargeted)
 		em := newEmitter(fmt.Sprintf("%s@k=%d", p.Name(), depth), emit)
 		var emitErr error
 		opts := env.ATPG
@@ -202,6 +228,7 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 			opts.Sites = sm
 		}
 		opts.Annotations = ann
+		opts.Learn = learn
 		opts.Classes = classes
 		opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 			if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
@@ -252,6 +279,7 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		// classification tallies are derived from the cumulative map after
 		// the loop. Depths run sequentially, so elapsed time sums.
 		work.SimDropped += out.Stats.SimDropped
+		work.Learned += out.Stats.Learned
 		work.Patterns += out.Stats.Patterns
 		work.Backtracks += out.Stats.Backtracks
 		work.Decisions += out.Stats.Decisions
@@ -305,6 +333,11 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		order, stale := ur.AnnotationOrder()
 		if ann, err = clone.AnnotateAppended(ann, order, stale); err != nil {
 			return err
+		}
+		if !env.ATPG.NoLearn {
+			if learn, err = atpg.BuildLearning(clone, env.Metrics); err != nil {
+				return err
+			}
 		}
 	}
 	sweep.FinalFrames = ur.Frames()

@@ -5,8 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"olfui/internal/atpg"
 	"olfui/internal/constraint"
 	"olfui/internal/fault"
+	"olfui/internal/obs"
 	"olfui/internal/testutil"
 )
 
@@ -157,6 +159,49 @@ func TestSweepClassesDropsResolved(t *testing.T) {
 		if dropped[fid] {
 			t.Fatalf("class %d still targeted after being proven untestable", fid)
 		}
+	}
+}
+
+// TestSweepRetargetedAccounting is the progress-accounting regression pin:
+// every sweep depth re-counts its targets on "atpg.classes", so a class left
+// unresolved (aborted) at one depth and re-targeted at the next used to be
+// counted live twice by any view computing live = classes - resolved. The
+// "atpg.classes.retargeted" counter must record exactly those duplicates:
+// subtracting it leaves the true number of still-unresolved classes, which at
+// the end of a sweep is its aborted class count.
+func TestSweepRetargetedAccounting(t *testing.T) {
+	n := testutil.RandomNetlist(11, testutil.RandOpts{Inputs: 3, Gates: 14, FFs: 2, Outputs: 2})
+	u := fault.NewUniverse(n)
+	reg := obs.New()
+	// A backtrack limit of 1 forces aborts at every depth, so re-targeted
+	// unresolved classes are guaranteed.
+	c := NewCampaign(n, u, CampaignOptions{ATPG: atpg.Options{BacktrackLimit: 1}, Metrics: reg})
+	sp := &SweepProvider{Scenario: reachScenario(2), MaxFrames: 4}
+	if err := c.Add(sp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Result.Sweep.Depths) < 2 {
+		t.Fatalf("sweep ran %d depth(s); re-targeting needs at least two", len(sp.Result.Sweep.Depths))
+	}
+	snap := reg.Snapshot()
+	classes := snap.Counter("atpg.classes")
+	resolved := snap.Counter("atpg.classes.detected") + snap.Counter("atpg.classes.untestable")
+	retargeted := snap.Counter("atpg.classes.retargeted")
+	if retargeted == 0 {
+		t.Fatal("no re-targeted classes recorded; the regression is not exercised (pick a harder seed)")
+	}
+	want := int64(sp.Result.Outcome.Stats.Aborted)
+	if live := classes - resolved - retargeted; live != want {
+		t.Fatalf("live = classes %d - resolved %d - retargeted %d = %d, want %d (the aborted class count)",
+			classes, resolved, retargeted, live, want)
+	}
+	// Sanity of the regression itself: without the correction the old
+	// formula over-reports by the re-target count.
+	if naive := classes - resolved; naive == want {
+		t.Fatal("uncorrected live already matches; test lost its subject")
 	}
 }
 

@@ -1,0 +1,104 @@
+package netlist
+
+// Graph is a dense forward-propagation index over a levelized netlist: the
+// levelized evaluation order, each gate's position in that order, and a
+// flattened, de-duplicated consumer list per net. It is the exported
+// implication graph that event-driven fault simulation and the static
+// learning pass walk — both need "who reads this net" and "in what order do
+// effects settle" without re-deriving them from Net.Fanout pin lists.
+//
+// A Graph is read-only after construction, so one instance can be shared by
+// any number of concurrent engines and graders over the same netlist.
+type Graph struct {
+	order []GateID
+	// pos[g] is g's index in order, or -1 for gates the combinational
+	// evaluation never schedules (sources and dead gates).
+	pos []int32
+	// conStart/cons form a CSR over nets: cons[conStart[n]:conStart[n+1]]
+	// lists the distinct live gates with at least one input pin on net n.
+	// A gate reading the same net on several pins appears once.
+	conStart []int32
+	cons     []GateID
+}
+
+// BuildGraph levelizes the netlist and flattens its net-to-reader relation.
+// It fails only if Levelize does (combinational cycle).
+func (n *Netlist) BuildGraph() (*Graph, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		order:    order,
+		pos:      make([]int32, len(n.Gates)),
+		conStart: make([]int32, len(n.Nets)+1),
+	}
+	for i := range g.pos {
+		g.pos[i] = -1
+	}
+	for i, id := range order {
+		g.pos[id] = int32(i)
+	}
+
+	// Two passes over the fanout pin lists: count distinct readers per net,
+	// then fill. lastNet[gate] de-duplicates multi-pin reads of one net —
+	// valid because each pass walks one net's pins at a time.
+	lastNet := make([]NetID, len(n.Gates))
+	for i := range lastNet {
+		lastNet[i] = InvalidNet
+	}
+	for nid := range n.Nets {
+		for _, pin := range n.Nets[nid].Fanout {
+			gid := pin.Gate
+			if n.Gates[gid].Kind == KDead {
+				continue
+			}
+			if lastNet[gid] == NetID(nid) {
+				continue
+			}
+			lastNet[gid] = NetID(nid)
+			g.conStart[nid+1]++
+		}
+	}
+	for i := 1; i < len(g.conStart); i++ {
+		g.conStart[i] += g.conStart[i-1]
+	}
+	g.cons = make([]GateID, g.conStart[len(n.Nets)])
+	fill := make([]int32, len(n.Nets))
+	copy(fill, g.conStart[:len(n.Nets)])
+	for i := range lastNet {
+		lastNet[i] = InvalidNet
+	}
+	for nid := range n.Nets {
+		for _, pin := range n.Nets[nid].Fanout {
+			gid := pin.Gate
+			if n.Gates[gid].Kind == KDead {
+				continue
+			}
+			if lastNet[gid] == NetID(nid) {
+				continue
+			}
+			lastNet[gid] = NetID(nid)
+			g.cons[fill[nid]] = gid
+			fill[nid]++
+		}
+	}
+	return g, nil
+}
+
+// Order returns the levelized combinational evaluation order (sources and
+// dead gates excluded; KOutput markers included). Callers must not modify it.
+func (g *Graph) Order() []GateID { return g.order }
+
+// At returns the gate at position i of the evaluation order.
+func (g *Graph) At(i int32) GateID { return g.order[i] }
+
+// Pos returns gate id's position in the evaluation order, or -1 if the gate
+// is never evaluated (a source or dead gate).
+func (g *Graph) Pos(id GateID) int32 { return g.pos[id] }
+
+// Consumers returns the distinct live gates reading net n. Callers must not
+// modify the returned slice.
+func (g *Graph) Consumers(n NetID) []GateID {
+	return g.cons[g.conStart[n]:g.conStart[n+1]]
+}

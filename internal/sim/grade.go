@@ -7,19 +7,50 @@ import (
 	"olfui/internal/obs"
 )
 
-// Grader is a reusable PPSFP combinational fault-grading engine: it keeps a
-// good and a faulty simulator allocated across calls so tight
-// generate-then-drop loops (the ATPG fleet driver) do not rebuild levelized
-// state per pattern. A Grader is not safe for concurrent use.
+// Grader is a reusable PPSFP combinational fault-grading engine. It keeps one
+// simulator plus all per-batch and per-fault scratch allocated across calls,
+// so tight generate-then-drop loops (the ATPG fleet driver) neither rebuild
+// levelized state nor churn the allocator per pattern.
+//
+// Grading is event-driven: the good machine is settled once per 64-pattern
+// word, and each fault then re-evaluates only the cone reachable from its
+// injection sites, recording changed nets in an undo log that is rolled back
+// before the next fault. Values are identical to a full faulty-machine pass —
+// a gate's output can differ from the good machine only if an input net
+// differs or the gate itself carries an injection, and both cases are seeded
+// or scheduled (see TestGraderEventDrivenMatchesFullEval). A Grader is not
+// safe for concurrent use.
 type Grader struct {
-	n    *netlist.Netlist
-	u    *fault.Universe
-	sm   *fault.SiteMap
-	good *Simulator
-	bad  *Simulator
-	pis  []netlist.GateID
-	ffs  []netlist.GateID
-	obs  []ObsPoint
+	n     *netlist.Netlist
+	u     *fault.Universe
+	sm    *fault.SiteMap
+	good  *Simulator
+	graph *netlist.Graph
+	pis   []netlist.GateID
+	ffs   []netlist.GateID
+	obs   []ObsPoint
+
+	// Per-batch input-packing scratch.
+	piVals []logic.PV
+	ffVals []logic.PV
+
+	// Per-fault event-driven scratch. epoch stamps replace clearing: a
+	// sched/chStamp entry is valid only when it equals the current epoch.
+	epoch    uint64
+	sched    []uint64 // per gate: epoch when scheduled
+	heap     []int32  // min-heap of pending order positions
+	chStamp  []uint64 // per net: epoch when changed
+	chIdx    []int32  // per net: undo-log index when changed
+	undoNets []netlist.NetID
+	undoVals []logic.PV
+
+	// Observation points indexed two ways: by the net their pin reads (a
+	// changed net can flip them) and by their gate (a pin injection on the
+	// obs gate can flip them with no net change).
+	obsNetStart  []int32
+	obsNetIdx    []int32
+	obsGateStart []int32
+	obsGateIdx   []int32
 
 	// Telemetry handles, armed by Instrument; nil handles no-op, so an
 	// uninstrumented grader pays one branch per record.
@@ -63,28 +94,56 @@ func NewGraderObs(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint) (*Grade
 // grading. Graders used to drop faults for a multi-site ATPG run must share
 // the run's site map for the same reason they share its observation points:
 // detection claims on differently injected machines do not transfer.
-func NewGraderSites(n *netlist.Netlist, u *fault.Universe, obs []ObsPoint, sm *fault.SiteMap) (*Grader, error) {
+func NewGraderSites(n *netlist.Netlist, u *fault.Universe, obsPts []ObsPoint, sm *fault.SiteMap) (*Grader, error) {
 	good, err := New(n)
 	if err != nil {
 		return nil, err
 	}
-	bad, err := New(n)
-	if err != nil {
-		return nil, err
+	if obsPts == nil {
+		obsPts = CombObsPoints(n)
 	}
-	if obs == nil {
-		obs = CombObsPoints(n)
+	gr := &Grader{
+		n:       n,
+		u:       u,
+		sm:      sm,
+		good:    good,
+		graph:   good.Graph(),
+		pis:     n.PrimaryInputs(),
+		ffs:     n.FlipFlops(),
+		obs:     obsPts,
+		sched:   make([]uint64, len(n.Gates)),
+		chStamp: make([]uint64, len(n.Nets)),
+		chIdx:   make([]int32, len(n.Nets)),
 	}
-	return &Grader{
-		n:    n,
-		u:    u,
-		sm:   sm,
-		good: good,
-		bad:  bad,
-		pis:  n.PrimaryInputs(),
-		ffs:  n.FlipFlops(),
-		obs:  obs,
-	}, nil
+	gr.piVals = make([]logic.PV, len(gr.pis))
+	gr.ffVals = make([]logic.PV, len(gr.ffs))
+	gr.obsNetStart, gr.obsNetIdx = buildObsCSR(len(n.Nets), obsPts, func(p ObsPoint) int32 {
+		return int32(n.Gates[p.Gate].Ins[p.Pin])
+	})
+	gr.obsGateStart, gr.obsGateIdx = buildObsCSR(len(n.Gates), obsPts, func(p ObsPoint) int32 {
+		return int32(p.Gate)
+	})
+	return gr, nil
+}
+
+// buildObsCSR groups observation-point indices by an int32 key (net or gate).
+func buildObsCSR(keys int, obsPts []ObsPoint, keyOf func(ObsPoint) int32) (start, idx []int32) {
+	start = make([]int32, keys+1)
+	for _, p := range obsPts {
+		start[keyOf(p)+1]++
+	}
+	for i := 1; i < len(start); i++ {
+		start[i] += start[i-1]
+	}
+	idx = make([]int32, len(obsPts))
+	fill := make([]int32, keys)
+	copy(fill, start[:keys])
+	for i, p := range obsPts {
+		k := keyOf(p)
+		idx[fill[k]] = int32(i)
+		fill[k]++
+	}
+	return start, idx
 }
 
 // Grade fault-simulates the given faults against the pattern set,
@@ -115,15 +174,13 @@ func sliceOrNil(ps []Pattern, lo, hi int) []Pattern {
 func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.FID, detected *fault.Set) {
 	gr.mPatterns.Add(int64(len(patterns)))
 	gr.mWords.Inc()
-	piVals := make([]logic.PV, len(gr.pis))
 	for pi := range gr.pis {
 		v := logic.PVAllX
 		for k := range patterns {
 			v = v.Set(k, patterns[k][pi])
 		}
-		piVals[pi] = v
+		gr.piVals[pi] = v
 	}
-	ffVals := make([]logic.PV, len(gr.ffs))
 	for fi := range gr.ffs {
 		v := logic.PVAllX
 		if statePatterns != nil {
@@ -131,19 +188,19 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 				v = v.Set(k, statePatterns[k][fi])
 			}
 		}
-		ffVals[fi] = v
+		gr.ffVals[fi] = v
 	}
-	apply := func(s *Simulator) {
-		s.ClearState(logic.X)
-		for pi, g := range gr.pis {
-			s.SetInput(gr.n.Gates[g].Out, piVals[pi])
-		}
-		for fi, g := range gr.ffs {
-			s.SetInput(gr.n.Gates[g].Out, ffVals[fi])
-		}
-		s.EvalComb()
+	// Settle the good machine once; every fault below perturbs it in place
+	// and rolls back.
+	s := gr.good
+	s.ClearState(logic.X)
+	for pi, g := range gr.pis {
+		s.SetInput(gr.n.Gates[g].Out, gr.piVals[pi])
 	}
-	apply(gr.good)
+	for fi, g := range gr.ffs {
+		s.SetInput(gr.n.Gates[g].Out, gr.ffVals[fi])
+	}
+	s.EvalComb()
 
 	for _, fid := range faults {
 		if detected.Has(fid) {
@@ -154,19 +211,146 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 		// fault per pattern batch, so the single-site path must stay
 		// allocation-free.
 		f := gr.u.FaultOf(fid)
-		gr.bad.ClearInjections()
-		gr.bad.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
+		s.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
 		for _, rep := range gr.sm.Replicas(f.Gate) {
-			gr.bad.AddInjection(Injection{
+			s.AddInjection(Injection{
 				Site: fault.Site{Gate: rep, Pin: f.Pin}, SA: f.SA, Mask: ^uint64(0)})
 		}
-		apply(gr.bad)
 		gr.mFaultEvals.Inc()
-		for _, p := range gr.obs {
-			if gr.good.ObsVal(p).Diff(gr.bad.ObsVal(p)) != 0 {
-				detected.Add(fid)
-				break
+		if gr.evalConeDetect() {
+			detected.Add(fid)
+		}
+		for i, net := range gr.undoNets {
+			s.vals[net] = gr.undoVals[i]
+		}
+		s.ClearInjections()
+	}
+}
+
+// evalConeDetect re-settles only the injection sites' output cone on top of
+// the good values, logging every changed net, then reports whether any
+// observation point differs from the good machine.
+func (gr *Grader) evalConeDetect() bool {
+	s := gr.good
+	gr.epoch++
+	ep := gr.epoch
+	gr.heap = gr.heap[:0]
+	gr.undoNets = gr.undoNets[:0]
+	gr.undoVals = gr.undoVals[:0]
+
+	// Seed from the injection sites. Source gates (pos < 0) are re-evaluated
+	// immediately — they have no combinational inputs, only a refreshed
+	// output the injection may override. Everything else is scheduled.
+	for _, gid := range s.injGates {
+		g := &s.N.Gates[gid]
+		if pos := gr.graph.Pos(gid); pos >= 0 {
+			gr.schedule(pos, gid, ep)
+		} else if g.Out != netlist.InvalidNet {
+			gr.writeNet(g.Out, s.refreshSource(gid, g), ep)
+		}
+	}
+	// Drain in topological-position order, so each gate is evaluated at most
+	// once with all of its faulty input values already settled.
+	for len(gr.heap) > 0 {
+		gid := gr.graph.At(gr.popMin())
+		g := &s.N.Gates[gid]
+		if g.Out == netlist.InvalidNet {
+			continue // KOutput marker: nothing to compute
+		}
+		gr.writeNet(g.Out, s.outVal(gid, s.evalGate(gid, g)), ep)
+	}
+
+	// Only two things can flip an observation point: its net changed, or its
+	// own gate carries a pin injection (which alters the read with no net
+	// change). Scan exactly those.
+	for i, net := range gr.undoNets {
+		for _, oi := range gr.obsNetIdx[gr.obsNetStart[net]:gr.obsNetStart[net+1]] {
+			p := gr.obs[oi]
+			bad := s.pinVal(p.Gate, &s.N.Gates[p.Gate], int(p.Pin))
+			if gr.undoVals[i].Diff(bad) != 0 {
+				return true
 			}
 		}
 	}
+	for _, gid := range s.injGates {
+		for _, oi := range gr.obsGateIdx[gr.obsGateStart[gid]:gr.obsGateStart[gid+1]] {
+			p := gr.obs[oi]
+			net := s.N.Gates[p.Gate].Ins[p.Pin]
+			good := s.vals[net]
+			if gr.chStamp[net] == ep {
+				good = gr.undoVals[gr.chIdx[net]]
+			}
+			if good.Diff(s.pinVal(p.Gate, &s.N.Gates[p.Gate], int(p.Pin))) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeNet commits a recomputed net value: if it changed, the old value goes
+// to the undo log and every consumer is scheduled. Each net has one driver
+// and each gate evaluates at most once per fault, so a net is logged at most
+// once.
+func (gr *Grader) writeNet(net netlist.NetID, nv logic.PV, ep uint64) {
+	s := gr.good
+	old := s.vals[net]
+	if nv == old {
+		return
+	}
+	gr.chStamp[net] = ep
+	gr.chIdx[net] = int32(len(gr.undoNets))
+	gr.undoNets = append(gr.undoNets, net)
+	gr.undoVals = append(gr.undoVals, old)
+	s.vals[net] = nv
+	for _, c := range gr.graph.Consumers(net) {
+		if pos := gr.graph.Pos(c); pos >= 0 {
+			gr.schedule(pos, c, ep)
+		}
+	}
+}
+
+// schedule pushes a gate's order position onto the pending min-heap once per
+// epoch.
+func (gr *Grader) schedule(pos int32, gid netlist.GateID, ep uint64) {
+	if gr.sched[gid] == ep {
+		return
+	}
+	gr.sched[gid] = ep
+	h := append(gr.heap, pos)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	gr.heap = h
+}
+
+// popMin removes and returns the smallest pending order position.
+func (gr *Grader) popMin() int32 {
+	h := gr.heap
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h[l] < h[small] {
+			small = l
+		}
+		if r < last && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	gr.heap = h
+	return min
 }

@@ -30,45 +30,68 @@ type Injection struct {
 // Simulator is a 64-way parallel ternary simulator for one netlist.
 type Simulator struct {
 	N     *netlist.Netlist
-	order []netlist.GateID
+	graph *netlist.Graph
 	vals  []logic.PV // per net
 	next  []logic.PV // per gate: pending FF next-state
 	ffs   []netlist.GateID
+	// sources lists every gate EvalComb must refresh before the levelized
+	// pass (ties, inputs, flip-flops), so the refresh loop doesn't scan the
+	// whole gate array.
+	sources []netlist.GateID
 
-	inj       map[netlist.GateID][]Injection
-	hasOutInj map[netlist.GateID]bool
+	// injByGate is a dense per-gate injection table; injGates tracks which
+	// entries are non-empty so ClearInjections is O(injected sites). The
+	// per-pin guard in the hot loop is one slice-length load — profiling
+	// showed the map this replaces cost ~a third of all grading CPU.
+	injByGate [][]Injection
+	injGates  []netlist.GateID
 }
 
 // New builds a simulator. The netlist must levelize (no combinational
 // cycles). All nets start at X.
 func New(n *netlist.Netlist) (*Simulator, error) {
-	order, err := n.Levelize()
+	graph, err := n.BuildGraph()
 	if err != nil {
 		return nil, err
 	}
 	s := &Simulator{
-		N:     n,
-		order: order,
-		vals:  make([]logic.PV, len(n.Nets)),
-		next:  make([]logic.PV, len(n.Gates)),
-		ffs:   n.FlipFlops(),
-		inj:   map[netlist.GateID][]Injection{},
+		N:         n,
+		graph:     graph,
+		vals:      make([]logic.PV, len(n.Nets)),
+		next:      make([]logic.PV, len(n.Gates)),
+		ffs:       n.FlipFlops(),
+		injByGate: make([][]Injection, len(n.Gates)),
+	}
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case netlist.KTie0, netlist.KTie1, netlist.KInput, netlist.KDFF, netlist.KDFFR:
+			s.sources = append(s.sources, netlist.GateID(i))
+		}
 	}
 	s.ClearState(logic.X)
 	return s, nil
 }
 
+// Graph returns the simulator's forward-propagation index (shared, read-only).
+func (s *Simulator) Graph() *netlist.Graph { return s.graph }
+
 // AddInjection registers a stuck-at injection. Call ClearInjections to
 // remove all of them.
 func (s *Simulator) AddInjection(in Injection) {
-	s.inj[in.Site.Gate] = append(s.inj[in.Site.Gate], in)
+	g := in.Site.Gate
+	if len(s.injByGate[g]) == 0 {
+		s.injGates = append(s.injGates, g)
+	}
+	s.injByGate[g] = append(s.injByGate[g], in)
 }
 
-// ClearInjections removes all registered injections.
+// ClearInjections removes all registered injections. Capacity is retained,
+// so inject/clear cycles stop allocating after warm-up.
 func (s *Simulator) ClearInjections() {
-	if len(s.inj) > 0 {
-		s.inj = map[netlist.GateID][]Injection{}
+	for _, g := range s.injGates {
+		s.injByGate[g] = s.injByGate[g][:0]
 	}
+	s.injGates = s.injGates[:0]
 }
 
 // ClearState sets every net (including flip-flop outputs) to v in all slots.
@@ -94,7 +117,7 @@ func (s *Simulator) NetVal(net netlist.NetID) logic.PV { return s.vals[net] }
 // pinVal reads input pin p of gate g with injections applied.
 func (s *Simulator) pinVal(g netlist.GateID, gate *netlist.Gate, p int) logic.PV {
 	v := s.vals[gate.Ins[p]]
-	if injs, ok := s.inj[g]; ok {
+	if injs := s.injByGate[g]; len(injs) != 0 {
 		for _, in := range injs {
 			if int(in.Site.Pin) == p {
 				v = logic.Select(in.Mask, logic.PVSplat(in.SA), v)
@@ -105,7 +128,7 @@ func (s *Simulator) pinVal(g netlist.GateID, gate *netlist.Gate, p int) logic.PV
 }
 
 func (s *Simulator) outVal(g netlist.GateID, v logic.PV) logic.PV {
-	if injs, ok := s.inj[g]; ok {
+	if injs := s.injByGate[g]; len(injs) != 0 {
 		for _, in := range injs {
 			if in.Site.Pin == fault.OutputPin {
 				v = logic.Select(in.Mask, logic.PVSplat(in.SA), v)
@@ -115,26 +138,30 @@ func (s *Simulator) outVal(g netlist.GateID, v logic.PV) logic.PV {
 	return v
 }
 
+// refreshSource recomputes a source gate's output value exactly as EvalComb's
+// refresh loop does: ties drive their constants, input and flip-flop gates
+// keep the current state value, and output injections apply on top.
+func (s *Simulator) refreshSource(gid netlist.GateID, g *netlist.Gate) logic.PV {
+	switch g.Kind {
+	case netlist.KTie0:
+		return s.outVal(gid, logic.PVAllZero)
+	case netlist.KTie1:
+		return s.outVal(gid, logic.PVAllOne)
+	default: // KInput, KDFF, KDFFR
+		return s.outVal(gid, s.vals[g.Out])
+	}
+}
+
 // EvalComb performs one full levelized pass over the combinational network,
 // updating every non-source net from the current inputs and state. Source
 // gates (inputs, ties, flip-flops) also refresh their output nets so tie
 // values and injections on them take effect.
 func (s *Simulator) EvalComb() {
-	// Refresh sources: ties always; FF outputs keep state but output
-	// injections (e.g. a stuck Q) must be applied.
-	for i := range s.N.Gates {
-		g := &s.N.Gates[i]
-		gid := netlist.GateID(i)
-		switch g.Kind {
-		case netlist.KTie0:
-			s.vals[g.Out] = s.outVal(gid, logic.PVAllZero)
-		case netlist.KTie1:
-			s.vals[g.Out] = s.outVal(gid, logic.PVAllOne)
-		case netlist.KInput, netlist.KDFF, netlist.KDFFR:
-			s.vals[g.Out] = s.outVal(gid, s.vals[g.Out])
-		}
+	for _, gid := range s.sources {
+		g := &s.N.Gates[gid]
+		s.vals[g.Out] = s.refreshSource(gid, g)
 	}
-	for _, gid := range s.order {
+	for _, gid := range s.graph.Order() {
 		g := &s.N.Gates[gid]
 		if g.Out == netlist.InvalidNet {
 			continue // KOutput: nothing to compute
