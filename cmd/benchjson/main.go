@@ -176,9 +176,11 @@ func loadResults(path string) ([]Result, error) {
 }
 
 // compareBench enforces the per-benchmark ns/op regression budget of the new
-// capture against the baseline. Every baseline benchmark must be present in
-// the new capture — a silently dropped benchmark would otherwise pass the
-// budget by not being measured.
+// capture against the baseline. A baseline benchmark absent from the new
+// capture is reported as a named warning but does not fail the comparison:
+// benchmarks are renamed and retired as the suite evolves, and holding the
+// regression gate hostage to a stale baseline name forced every rename to
+// land with a regenerated baseline in the same change.
 func compareBench(oldPath, newPath string, maxPct float64) error {
 	oldRes, err := loadResults(oldPath)
 	if err != nil {
@@ -192,12 +194,13 @@ func compareBench(oldPath, newPath string, maxPct float64) error {
 	for _, r := range newRes {
 		byName[r.Name] = r
 	}
-	bad := 0
+	bad, missing := 0, 0
 	for _, o := range oldRes {
 		n, ok := byName[o.Name]
 		if !ok {
-			fmt.Printf("%-40s MISSING from %s\n", o.Name, newPath)
-			bad++
+			fmt.Printf("%-40s WARNING: missing from %s (renamed or retired? regenerate the baseline)\n",
+				o.Name, newPath)
+			missing++
 			continue
 		}
 		if o.NsPerOp <= 0 {
@@ -213,7 +216,12 @@ func compareBench(oldPath, newPath string, maxPct float64) error {
 			o.Name, o.NsPerOp, n.NsPerOp, pct, verdict)
 	}
 	if bad > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed or missing (budget %.1f%%)", bad, maxPct)
+		return fmt.Errorf("%d benchmark(s) regressed (budget %.1f%%)", bad, maxPct)
+	}
+	if missing > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) within %.1f%% of %s, %d missing (warned above)\n",
+			len(oldRes)-missing, maxPct, oldPath, missing)
+		return nil
 	}
 	fmt.Printf("benchjson: %d benchmark(s) within %.1f%% of %s\n", len(oldRes), maxPct, oldPath)
 	return nil

@@ -7,6 +7,36 @@ import (
 	"testing"
 )
 
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				done <- b.String()
+				return
+			}
+		}
+	}()
+	f()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}
+
 func writeCapture(t *testing.T, name, content string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), name)
@@ -17,7 +47,8 @@ func writeCapture(t *testing.T, name, content string) string {
 }
 
 // TestCompareBench pins the regression gate: within-budget drift passes,
-// over-budget regressions and benchmarks missing from the new capture fail.
+// over-budget regressions fail, and benchmarks missing from the new capture
+// warn by name without failing.
 func TestCompareBench(t *testing.T) {
 	old := writeCapture(t, "old.json", `[
 	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1000},
@@ -44,13 +75,25 @@ func TestCompareBench(t *testing.T) {
 		t.Errorf("40%% regression under a 50%% budget: %v", err)
 	}
 
+	// A benchmark absent from the new capture is a named warning, not a
+	// failure: renames and retirements must not wedge the gate.
 	missing := writeCapture(t, "missing.json", `[
 	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1000}
 	]`)
-	if err := compareBench(old, missing, 25); err == nil {
-		t.Error("benchmark dropped from the new capture: want error")
-	} else if !strings.Contains(err.Error(), "missing") {
-		t.Errorf("missing-benchmark error %q does not say so", err)
+	out := captureStdout(t, func() {
+		if err := compareBench(old, missing, 25); err != nil {
+			t.Errorf("benchmark dropped from the new capture: want warning, got error %v", err)
+		}
+	})
+	if !strings.Contains(out, "BenchmarkB") || !strings.Contains(out, "WARNING: missing") {
+		t.Errorf("missing benchmark not warned about by name:\n%s", out)
+	}
+	// But a missing benchmark must not mask a real regression elsewhere.
+	missingPlusRegressed := writeCapture(t, "missing_regressed.json", `[
+	  {"name": "BenchmarkA", "iterations": 1, "ns_per_op": 1400}
+	]`)
+	if err := compareBench(old, missingPlusRegressed, 25); err == nil {
+		t.Error("regression alongside a missing benchmark: want error")
 	}
 
 	empty := writeCapture(t, "empty.json", `[]`)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"olfui/internal/atpg"
+	"olfui/internal/bench"
 	"olfui/internal/fault"
 	"olfui/internal/flow"
 	"olfui/internal/logic"
@@ -17,7 +18,7 @@ import (
 // circuit — the workload the incrementally pruned live-class list (vs
 // rescanning every class per pattern) is aimed at.
 func BenchmarkGenerateAllBench(b *testing.B) {
-	n := buildBench(8)
+	n := bench.Build(8)
 	u := fault.NewUniverse(n)
 	b.ReportMetric(float64(u.NumFaults()), "faults")
 	b.ResetTimer()
@@ -38,7 +39,7 @@ func BenchmarkGenerateAllBench(b *testing.B) {
 // It also asserts the screen actually fires on the benchmark circuit, so the
 // measured speedup includes it.
 func TestBenchVerdictsEqualWithLearning(t *testing.T) {
-	n := buildBench(8)
+	n := bench.Build(8)
 	u := fault.NewUniverse(n)
 	withLearn, err := atpg.GenerateAll(context.Background(), n, u, atpg.Options{})
 	if err != nil {
@@ -109,7 +110,7 @@ func writeStim(t *testing.T, content string) string {
 }
 
 func TestLoadPatternSets(t *testing.T) {
-	n := buildBench(2) // 13 primary inputs
+	n := bench.Build(2) // 13 primary inputs
 	path := writeStim(t, `
 # inputs: a0 a1 b0 b1 cin op0 op1 op2 op3 scan_en scan_in debug_en rstn
 seq add

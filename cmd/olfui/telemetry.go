@@ -126,7 +126,7 @@ func (p *progressReporter) event(e flow.Event) {
 		return
 	}
 	if e.Err != nil {
-		fmt.Fprintf(p.w, "  provider %-24s done (%d deltas, err=%v)\n", e.Provider, e.Seq, e.Err)
+		fmt.Fprintf(p.w, "  provider %-24s done (%d deltas, err=%s)\n", e.Provider, e.Seq, e.ErrString())
 		return
 	}
 	fmt.Fprintf(p.w, "  provider %-24s done (%d deltas)\n", e.Provider, e.Seq)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"olfui/internal/atpg"
+	"olfui/internal/bench"
 	"olfui/internal/fault"
 	"olfui/internal/flow"
 	"olfui/internal/obs"
@@ -23,7 +24,7 @@ import (
 // registry) baseline above, pinning the always-on cost of the hot-path
 // counters.
 func BenchmarkGenerateAllBenchTelemetry(b *testing.B) {
-	n := buildBench(8)
+	n := bench.Build(8)
 	u := fault.NewUniverse(n)
 	reg := obs.New()
 	b.ReportMetric(float64(u.NumFaults()), "faults")

@@ -1,0 +1,94 @@
+// Package bench builds the repository's benchmark design and its mission
+// scenarios: a dp-assembled ALU datapath with a scan chain, a one-hot-decoded
+// operation field, and a write-only trace register — the structures whose
+// faults full-scan ATPG counts as testable although no mission-mode stimulus
+// can expose them. Both cmd/olfui (one-shot CLI runs) and cmd/olfuid
+// (campaign server runs) execute campaigns over this design, so it lives
+// here rather than in either command.
+package bench
+
+import (
+	"fmt"
+
+	"olfui/internal/constraint"
+	"olfui/internal/dp"
+	"olfui/internal/flow"
+	"olfui/internal/logic"
+	"olfui/internal/netlist"
+)
+
+// Build assembles the benchmark: ALU with one-hot-selected result,
+// scan-chained accumulator, and a debug-only trace register.
+func Build(width int) *netlist.Netlist {
+	n := netlist.New(fmt.Sprintf("bench%d", width))
+	a := dp.InputBus(n, "a", width)
+	b := dp.InputBus(n, "b", width)
+	cin := n.Input("cin")
+	var op dp.Bus
+	for i := 0; i < 4; i++ {
+		op = append(op, n.Input(fmt.Sprintf("op%d", i)))
+	}
+	scanEn := n.Input("scan_en")
+	scanIn := n.Input("scan_in")
+	debugEn := n.Input("debug_en")
+	rstn := n.Input("rstn")
+
+	sum, cout := dp.RippleAdder(n, "add", a, b, cin)
+	diff, _ := dp.Subtractor(n, "sub", a, b)
+	andv := dp.AndBus(n, "bwand", a, b)
+	xorv := dp.XorBus(n, "bwxor", a, b)
+
+	// One-hot AND-OR result mux: res_i = OR_k (op_k AND unit_k[i]).
+	units := []dp.Bus{sum, diff, andv, xorv}
+	res := make(dp.Bus, width)
+	for i := 0; i < width; i++ {
+		terms := make([]netlist.NetID, len(units))
+		for k, unit := range units {
+			terms[k] = n.And(fmt.Sprintf("rsel%d_%d", k, i), op[k], unit[i])
+		}
+		res[i] = dp.ReduceOr(n, fmt.Sprintf("res%d", i), terms)
+	}
+
+	// Scan-chained accumulator: mission observes its Q bus at the outputs.
+	chain := scanIn
+	acc := make(dp.Bus, width)
+	for i := 0; i < width; i++ {
+		m := n.Mux2(fmt.Sprintf("smux%d", i), res[i], chain, scanEn)
+		acc[i] = n.DFF(fmt.Sprintf("acc%d", i), m)
+		chain = acc[i]
+	}
+	dp.OutputBus(n, "out", acc)
+	n.OutputPort("cout", cout)
+
+	// Debug-only trace register: captures the XOR unit when debug_en=1,
+	// recirculates otherwise, and is never functionally read out.
+	dp.RegisterEn(n, "trace", xorv, debugEn, rstn)
+	return n
+}
+
+// Scenarios returns the benchmark's mission scenarios: unconstrained online
+// observation, the mission constraint set (scan and debug tied off, one-hot
+// operation field), and the reach-constrained multi-frame variant unrolled to
+// frames time frames.
+func Scenarios(frames int) []flow.Scenario {
+	missionTies := []constraint.Transform{
+		constraint.Tie{Net: "scan_en", Value: logic.Zero},
+		constraint.Tie{Net: "scan_in", Value: logic.Zero},
+		constraint.Tie{Net: "debug_en", Value: logic.Zero},
+	}
+	oneHot := constraint.OneHot{Nets: []string{"op0", "op1", "op2", "op3"}}
+	return []flow.Scenario{
+		{Name: "online", Observe: constraint.ObserveOnline},
+		{
+			Name:       "mission",
+			Transforms: append(append([]constraint.Transform{}, missionTies...), oneHot),
+			Observe:    constraint.ObserveOnline,
+		},
+		{
+			Name: "mission-reach",
+			Transforms: append(append([]constraint.Transform{}, missionTies...),
+				oneHot, constraint.Unroll{Frames: frames}),
+			Observe: constraint.ObserveOutputsAndCaptures,
+		},
+	}
+}

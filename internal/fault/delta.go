@@ -144,6 +144,116 @@ func (a *Accumulator) Apply(d Delta) error {
 	return nil
 }
 
+// Replay applies one delta of a re-delivered stream, tolerating an
+// already-applied prefix: a delta whose Seq is below the source's next
+// expected sequence number is rejected as a duplicate (applied false, nil
+// error) without touching the lattice, a delta at exactly the expected Seq
+// applies normally, and a delta beyond it is a gap — a protocol error, like
+// any other out-of-order delivery. This is the restore-side half of the
+// snapshot contract: an accumulator restored from a Snapshot rejects exactly
+// the prefix of a replayed stream it has already applied and accepts the
+// stream's continuation, which is what makes journal replay and re-delivered
+// remote streams idempotent.
+func (a *Accumulator) Replay(d Delta) (applied bool, err error) {
+	if d.Source != "" && d.Seq < a.nextSeq[d.Source] {
+		return false, nil
+	}
+	if err := a.Apply(d); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ResetSource forgets the sequence state of one source stream: the next delta
+// from src must carry Seq 0 again, as if the source had never emitted. Merged
+// evidence and attribution are untouched — the lattice join is idempotent and
+// monotone, so a re-executed source re-announcing evidence it already proved
+// is harmless. This is the resume hook for providers that were interrupted
+// mid-stream: their recorded evidence is kept, their stream restarts from
+// zero.
+func (a *Accumulator) ResetSource(src string) { delete(a.nextSeq, src) }
+
+// AccumulatorSnapshot is the full serializable state of an Accumulator:
+// merged statuses, per-fault source attribution (an index into Sources, -1
+// while Undetected), the source name table, and each source's next expected
+// sequence number. RestoreAccumulator rebuilds an equivalent accumulator
+// from it.
+type AccumulatorSnapshot struct {
+	Statuses    []Status
+	Attribution []int32
+	Sources     []string
+	NextSeq     map[string]int
+}
+
+// Snapshot captures the accumulator's state as an independent deep copy,
+// safe to serialize or restore while the original keeps merging.
+func (a *Accumulator) Snapshot() *AccumulatorSnapshot {
+	s := &AccumulatorSnapshot{
+		Statuses:    append([]Status(nil), a.m.st...),
+		Attribution: append([]int32(nil), a.src...),
+		Sources:     append([]string(nil), a.sources...),
+		NextSeq:     make(map[string]int, len(a.nextSeq)),
+	}
+	for src, seq := range a.nextSeq {
+		s.NextSeq[src] = seq
+	}
+	return s
+}
+
+// RestoreAccumulator rebuilds an accumulator for u from a snapshot taken on
+// the same universe. The restored accumulator is equivalent to the one the
+// snapshot was taken from: byte-identical statuses and source attribution,
+// and per-source sequence state that rejects exactly the already-applied
+// prefix of a replayed stream (see Replay). Every structural invariant is
+// validated so a corrupted or foreign snapshot fails here rather than
+// corrupting a merge.
+func RestoreAccumulator(u *Universe, s *AccumulatorSnapshot) (*Accumulator, error) {
+	if len(s.Statuses) != u.NumFaults() {
+		return nil, fmt.Errorf("fault: snapshot holds %d statuses, universe has %d faults",
+			len(s.Statuses), u.NumFaults())
+	}
+	if len(s.Attribution) != len(s.Statuses) {
+		return nil, fmt.Errorf("fault: snapshot attribution length %d vs %d statuses",
+			len(s.Attribution), len(s.Statuses))
+	}
+	srcIdx := make(map[string]int32, len(s.Sources))
+	for i, src := range s.Sources {
+		if src == "" {
+			return nil, fmt.Errorf("fault: snapshot source %d is empty", i)
+		}
+		if _, dup := srcIdx[src]; dup {
+			return nil, fmt.Errorf("fault: snapshot source %q duplicated", src)
+		}
+		srcIdx[src] = int32(i)
+	}
+	for id, st := range s.Statuses {
+		if st >= statusCount {
+			return nil, fmt.Errorf("fault: snapshot fault %d holds invalid status %d", id, uint8(st))
+		}
+		at := s.Attribution[id]
+		if at < -1 || int(at) >= len(s.Sources) {
+			return nil, fmt.Errorf("fault: snapshot fault %d attributes out-of-range source %d", id, at)
+		}
+		if (st == Undetected) != (at == -1) {
+			return nil, fmt.Errorf("fault: snapshot fault %d: status %v with attribution %d", id, st, at)
+		}
+	}
+	a := &Accumulator{
+		m:       &StatusMap{st: append([]Status(nil), s.Statuses...)},
+		src:     append([]int32(nil), s.Attribution...),
+		sources: append([]string(nil), s.Sources...),
+		srcIdx:  srcIdx,
+		nextSeq: make(map[string]int, len(s.NextSeq)),
+	}
+	for src, seq := range s.NextSeq {
+		if seq < 0 {
+			return nil, fmt.Errorf("fault: snapshot source %q has negative next seq %d", src, seq)
+		}
+		a.nextSeq[src] = seq
+	}
+	return a, nil
+}
+
 func (a *Accumulator) sourceOf(id FID) string {
 	if s := a.src[id]; s >= 0 {
 		return a.sources[s]

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// populated builds an accumulator with evidence from several sources so a
+// snapshot has non-trivial statuses, attribution, and sequence state.
+func populated(t *testing.T, u *Universe) *Accumulator {
+	t.Helper()
+	a := NewAccumulator(u)
+	deltas := []Delta{
+		{Source: "alpha", Seq: 0, FIDs: []FID{0, 1, 2}, Statuses: []Status{Detected, Aborted, Untestable}},
+		{Source: "alpha", Seq: 1, FIDs: []FID{3}, Statuses: []Status{Detected}},
+		{Source: "beta", Seq: 0, FIDs: []FID{1, 4}, Statuses: []Status{Detected, Aborted}},
+	}
+	for _, d := range deltas {
+		if err := a.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	u := deltaUniverse(t)
+	a := populated(t, u)
+
+	r, err := RestoreAccumulator(u, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < u.NumFaults(); id++ {
+		if got, want := r.Get(FID(id)), a.Get(FID(id)); got != want {
+			t.Fatalf("fault %d: restored status %v, want %v", id, got, want)
+		}
+		if got, want := r.Source(FID(id)), a.Source(FID(id)); got != want {
+			t.Fatalf("fault %d: restored attribution %q, want %q", id, got, want)
+		}
+	}
+	if !reflect.DeepEqual(r.nextSeq, a.nextSeq) {
+		t.Fatalf("restored nextSeq %v, want %v", r.nextSeq, a.nextSeq)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	u := deltaUniverse(t)
+	a := populated(t, u)
+	s := a.Snapshot()
+	// Further merges must not leak into the snapshot.
+	if err := a.Apply(Delta{Source: "gamma", Seq: 0, FIDs: []FID{5}, Statuses: []Status{Detected}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Statuses[5] != Undetected || s.Attribution[5] != -1 {
+		t.Fatal("snapshot mutated by a later Apply")
+	}
+	if _, ok := s.NextSeq["gamma"]; ok {
+		t.Fatal("snapshot nextSeq mutated by a later Apply")
+	}
+}
+
+func TestRestoredReplayRejectsAppliedPrefixAcceptsNext(t *testing.T) {
+	u := deltaUniverse(t)
+	a := populated(t, u)
+	r, err := RestoreAccumulator(u, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The already-applied prefix of alpha's stream replays as duplicates.
+	for seq := 0; seq < 2; seq++ {
+		applied, err := r.Replay(Delta{Source: "alpha", Seq: seq, FIDs: []FID{0}, Statuses: []Status{Detected}})
+		if err != nil {
+			t.Fatalf("replay of applied seq %d: %v", seq, err)
+		}
+		if applied {
+			t.Fatalf("replay of applied seq %d reported applied", seq)
+		}
+	}
+	// Exactly the next seq is fresh evidence.
+	applied, err := r.Replay(Delta{Source: "alpha", Seq: 2, FIDs: []FID{6}, Statuses: []Status{Detected}})
+	if err != nil || !applied {
+		t.Fatalf("replay of next seq: applied=%v err=%v", applied, err)
+	}
+	if r.Get(6) != Detected || r.Source(6) != "alpha" {
+		t.Fatal("fresh delta after restore did not merge")
+	}
+	// A gap past the next seq stays a protocol error.
+	if _, err := r.Replay(Delta{Source: "alpha", Seq: 4, FIDs: []FID{7}, Statuses: []Status{Detected}}); err == nil {
+		t.Fatal("replay with a sequence gap must fail")
+	}
+	// Strict Apply still rejects the replayed prefix outright.
+	if err := r.Apply(Delta{Source: "beta", Seq: 0}); err == nil {
+		t.Fatal("Apply of an applied seq must fail")
+	}
+}
+
+func TestRestoredConflictAttribution(t *testing.T) {
+	u := deltaUniverse(t)
+	a := NewAccumulator(u)
+	if err := a.Apply(Delta{Source: "prover", Seq: 0, FIDs: []FID{2}, Statuses: []Status{Untestable}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreAccumulator(u, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Apply(Delta{Source: "grader", Seq: 0, FIDs: []FID{2}, Statuses: []Status{Detected}})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ConflictError across restore boundary, got %v", err)
+	}
+	if ce.HaveSrc != "prover" || ce.IncomingSrc != "grader" {
+		t.Fatalf("conflict attribution %q vs %q, want prover vs grader", ce.HaveSrc, ce.IncomingSrc)
+	}
+	if ce.Have != Untestable || ce.Incoming != Detected {
+		t.Fatalf("conflict statuses %v vs %v", ce.Have, ce.Incoming)
+	}
+}
+
+func TestResetSourceRestartsStream(t *testing.T) {
+	u := deltaUniverse(t)
+	a := populated(t, u)
+	a.ResetSource("alpha")
+	// alpha restarts from seq 0; its earlier evidence is retained.
+	if err := a.Apply(Delta{Source: "alpha", Seq: 0, FIDs: []FID{0}, Statuses: []Status{Detected}}); err != nil {
+		t.Fatalf("restarted stream rejected: %v", err)
+	}
+	if a.Get(3) != Detected {
+		t.Fatal("ResetSource dropped merged evidence")
+	}
+	// beta's sequence state is untouched.
+	if err := a.Apply(Delta{Source: "beta", Seq: 0}); err == nil {
+		t.Fatal("ResetSource leaked into another source")
+	}
+}
+
+func TestRestoreAccumulatorValidation(t *testing.T) {
+	u := deltaUniverse(t)
+	base := func() *AccumulatorSnapshot { return populated(t, u).Snapshot() }
+
+	cases := []struct {
+		name   string
+		break_ func(*AccumulatorSnapshot)
+	}{
+		{"short statuses", func(s *AccumulatorSnapshot) { s.Statuses = s.Statuses[:1] }},
+		{"attribution mismatch", func(s *AccumulatorSnapshot) { s.Attribution = s.Attribution[:1] }},
+		{"invalid status", func(s *AccumulatorSnapshot) { s.Statuses[0] = statusCount }},
+		{"attribution out of range", func(s *AccumulatorSnapshot) { s.Attribution[0] = 99 }},
+		{"undetected with attribution", func(s *AccumulatorSnapshot) { s.Statuses[0] = Undetected }},
+		{"evidence without attribution", func(s *AccumulatorSnapshot) { s.Attribution[0] = -1 }},
+		{"empty source", func(s *AccumulatorSnapshot) { s.Sources[0] = "" }},
+		{"duplicate source", func(s *AccumulatorSnapshot) { s.Sources[1] = s.Sources[0] }},
+		{"negative seq", func(s *AccumulatorSnapshot) { s.NextSeq["alpha"] = -1 }},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.break_(s)
+		if _, err := RestoreAccumulator(u, s); err == nil {
+			t.Errorf("%s: RestoreAccumulator accepted a corrupt snapshot", tc.name)
+		}
+	}
+}
+
+func TestStatusMapBytesRoundTrip(t *testing.T) {
+	u := deltaUniverse(t)
+	m := NewStatusMap(u)
+	m.Set(0, Detected)
+	m.Set(3, Untestable)
+	m.Set(5, Aborted)
+	r, err := RestoreStatusMap(u, m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < u.NumFaults(); id++ {
+		if r.Get(FID(id)) != m.Get(FID(id)) {
+			t.Fatalf("fault %d: %v != %v", id, r.Get(FID(id)), m.Get(FID(id)))
+		}
+	}
+	if _, err := RestoreStatusMap(u, m.Bytes()[:3]); err == nil {
+		t.Fatal("short raw map accepted")
+	}
+	raw := m.Bytes()
+	raw[0] = byte(statusCount)
+	if _, err := RestoreStatusMap(u, raw); err == nil {
+		t.Fatal("invalid status byte accepted")
+	}
+}

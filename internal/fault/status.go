@@ -95,6 +95,33 @@ func Project(src *Universe, m *StatusMap, dst *Universe) *StatusMap {
 	return out
 }
 
+// Bytes returns the map's statuses as one byte per fault, in dense FID
+// order — the raw serialization used by the wire protocol and the journal.
+func (m *StatusMap) Bytes() []byte {
+	out := make([]byte, len(m.st))
+	for i, s := range m.st {
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// RestoreStatusMap rebuilds a StatusMap for u from a Bytes serialization,
+// validating the length and every status value.
+func RestoreStatusMap(u *Universe, raw []byte) (*StatusMap, error) {
+	if len(raw) != u.NumFaults() {
+		return nil, fmt.Errorf("fault: status map holds %d entries, universe has %d faults",
+			len(raw), u.NumFaults())
+	}
+	st := make([]Status, len(raw))
+	for i, b := range raw {
+		if Status(b) >= statusCount {
+			return nil, fmt.Errorf("fault: status map entry %d holds invalid status %d", i, b)
+		}
+		st[i] = Status(b)
+	}
+	return &StatusMap{st: st}, nil
+}
+
 // Clone returns an independent copy of the map.
 func (m *StatusMap) Clone() *StatusMap {
 	return &StatusMap{st: append([]Status(nil), m.st...)}

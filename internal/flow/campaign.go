@@ -10,6 +10,7 @@ import (
 
 	"olfui/internal/atpg"
 	"olfui/internal/fault"
+	"olfui/internal/journal"
 	"olfui/internal/netlist"
 	"olfui/internal/obs"
 )
@@ -73,9 +74,11 @@ type EmitFn func(fault.Delta) error
 // Provider is one pluggable evidence source. Run streams ordered deltas
 // about Env.Universe into emit — partial evidence as it is proven, not one
 // terminal batch — and returns once its stream is complete or ctx is
-// cancelled. Deltas must use the provider's Name as their Source (shard or
-// sub-stream suffixes are fine as long as each source's Seq counts from 0)
-// and must only strengthen statuses in the evidence lattice.
+// cancelled. Deltas must use the provider's Name as their Source, or
+// "Name@suffix" for sub-streams (the sweep emits one source per depth,
+// "sweep:<name>@k=<n>") — journal resume attributes sources to providers by
+// this contract — with each source's Seq counting from 0, and must only
+// strengthen statuses in the evidence lattice.
 type Provider interface {
 	Name() string
 	Channel() Channel
@@ -106,6 +109,16 @@ type Event struct {
 	Err    error
 }
 
+// ErrString renders the event's error, or "" when there is none — the form
+// progress output and the wire encoding carry, so a provider failure is
+// never dropped for being unserializable.
+func (e Event) ErrString() string {
+	if e.Err == nil {
+		return ""
+	}
+	return e.Err.Error()
+}
+
 // CampaignOptions configures a campaign run.
 type CampaignOptions struct {
 	// ATPG is the engine configuration template. Workers is the TOTAL
@@ -128,6 +141,14 @@ type CampaignOptions struct {
 	// plus everything the engines record (it is threaded into every
 	// provider's atpg.Options — which is why ATPG.Metrics must arrive nil).
 	Metrics *obs.Registry
+	// Journal, when non-nil, makes the run durable: every committed delta is
+	// written ahead to it, provider completions append result + done
+	// records, and — when the journal was opened over a previous
+	// interrupted run of the SAME campaign (identical fingerprint) — Run
+	// restores the merged evidence, skips providers the journal marks done,
+	// and re-executes only unfinished ones. A Journal drives one Run; open
+	// a fresh one (or reopen the directory) per run.
+	Journal *journal.Journal
 }
 
 // Campaign accumulates streaming fault evidence from a set of providers
@@ -139,6 +160,7 @@ type Campaign struct {
 	opts      CampaignOptions
 	providers []Provider
 	names     map[string]bool
+	resumed   []string
 }
 
 // NewCampaign prepares an empty campaign over n's fault universe u.
@@ -164,6 +186,10 @@ func (c *Campaign) Add(ps ...Provider) error {
 	}
 	return nil
 }
+
+// Resumed returns the names of the providers the last Run skipped because
+// the journal proved them complete, in the order they were skipped.
+func (c *Campaign) Resumed() []string { return c.resumed }
 
 // EvidenceSet is the merged outcome of a campaign run: one accumulator per
 // evidence channel.
@@ -236,6 +262,16 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		FullScan: fault.NewAccumulator(c.u),
 		Mission:  fault.NewAccumulator(c.u),
 	}
+	c.resumed = nil
+	// Journal recovery (no-op without a journal): restores accumulators,
+	// marks finished providers skippable, and rotates the wal.
+	js, err := c.recover(ev)
+	if err != nil {
+		return nil, err
+	}
+	if js != nil {
+		root.SetInt("resumed_providers", int64(len(js.skip)))
+	}
 
 	// The merge path: providers emit concurrently, the lock serializes
 	// lattice application and progress reporting. The first fatal error
@@ -274,6 +310,22 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 			merged[pi]++
 			mDeltas.Inc()
 			mDeltaEntries.Add(int64(len(d.FIDs)))
+			if js != nil {
+				// Write-ahead AFTER lattice acceptance: a rejected delta must
+				// not be journaled, and a crash between acceptance and append
+				// only forgets a delta whose provider is still incomplete —
+				// resume re-executes it and the merge is idempotent.
+				if err := js.j.AppendDelta(p.Channel().String(), p.Name(), d); err != nil {
+					return fail(pi, fmt.Errorf("flow: journal: %w", err))
+				}
+				if js.j.WantCompact() {
+					// Under the merge lock, so the two channel snapshots are
+					// mutually consistent and no delta commits mid-compaction.
+					if err := js.compact(ev); err != nil {
+						return fail(pi, fmt.Errorf("flow: journal: %w", err))
+					}
+				}
+			}
 			if c.opts.Progress != nil {
 				// Time is stamped under the merge lock so a Progress observer
 				// sees non-decreasing commit times across all providers.
@@ -290,6 +342,39 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 	workers := c.budget()
 	runOne := func(pi int) {
 		p := c.providers[pi]
+		if js != nil {
+			if n, ok := js.skip[p.Name()]; ok {
+				// The journal proves this provider finished in a previous
+				// run: restore its journaled result instead of re-executing,
+				// and report it as done. Its evidence is already merged (it
+				// came in with the recovered accumulators).
+				mu.Lock()
+				defer mu.Unlock()
+				span := root.Child("provider:" + p.Name())
+				span.SetAttr("channel", p.Channel().String())
+				span.SetAttr("resumed", "true")
+				span.SetInt("deltas", int64(n))
+				span.End()
+				merged[pi] = n
+				if rr, ok := p.(resultRecorder); ok {
+					if rec := js.results[p.Name()]; rec != nil {
+						if err := rr.restoreResult(c.u, rec); err != nil {
+							fail(pi, fmt.Errorf("flow: provider %q: %w", p.Name(), err))
+							return
+						}
+					}
+				}
+				c.resumed = append(c.resumed, p.Name())
+				if c.opts.Progress != nil {
+					c.opts.Progress(Event{
+						Provider: p.Name(), Channel: p.Channel(),
+						Source: p.Name(), Time: time.Now(),
+						Seq: n, Done: true,
+					})
+				}
+				return
+			}
+		}
 		span := root.Child("provider:" + p.Name())
 		span.SetAttr("channel", p.Channel().String())
 		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG, Metrics: reg, Span: span}
@@ -322,6 +407,14 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 			// Don't attribute another provider's failure (or the caller's
 			// cancellation) to this provider in its terminal event.
 			evErr = context.Canceled
+		}
+		if js != nil && err == nil && mergeErr == nil {
+			// Result record strictly before the done marker; after the done
+			// marker is durable, resume skips this provider.
+			if jerr := js.finish(p, merged[pi]); jerr != nil {
+				fail(pi, fmt.Errorf("flow: provider %q: journal: %w", p.Name(), jerr))
+				evErr = jerr
+			}
 		}
 		if c.opts.Progress != nil {
 			c.opts.Progress(Event{

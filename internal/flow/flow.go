@@ -36,6 +36,7 @@ import (
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
 	"olfui/internal/fault"
+	"olfui/internal/journal"
 	"olfui/internal/netlist"
 	"olfui/internal/obs"
 	"olfui/internal/sim"
@@ -107,6 +108,13 @@ type ScenarioResult struct {
 	// Universe, Sites and Outcome then describe the converged final depth,
 	// with untestability proofs accumulated from every shallower depth.
 	Sweep *SweepResult
+	// Restored marks a result (at least partly) restored from a journal
+	// rather than computed in this process: Scenario, Projected and Sweep
+	// are complete, but Clone, Universe, Sites, Obs and Outcome may be
+	// partial or absent — independent re-verification (grading, the
+	// exhaustive oracle) needs the live clone state and must skip restored
+	// results.
+	Restored bool
 }
 
 // Report is the flow's deliverable.
@@ -127,6 +135,10 @@ type Report struct {
 	PatternDetected *fault.Set
 	// Class[fid] classifies every fault of the original universe.
 	Class []Classification
+	// Resumed names the providers a journal-backed run skipped because a
+	// previous interrupted run had already completed them; empty for a
+	// fresh (or journal-less) run.
+	Resumed []string
 	// evidence[fid] is the index into Scenarios of the proving scenario,
 	// EvidenceFullScan, or evidenceNone.
 	evidence []int32
@@ -176,6 +188,12 @@ type Options struct {
 	// CampaignOptions.Metrics); it is threaded into every provider and
 	// engine, so ATPG.Metrics must be left nil.
 	Metrics *obs.Registry
+	// Journal, when non-nil, makes the run durable and resumable (see
+	// CampaignOptions.Journal): committed deltas are written ahead to it,
+	// and a journal recovered from a previous interrupted run of the same
+	// campaign restores merged evidence and skips finished providers —
+	// Report.Resumed names them.
+	Journal *journal.Journal
 }
 
 // Run executes the identification pipeline as a batch call: a campaign over
@@ -228,6 +246,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		Serial:   opts.SerialScenarios,
 		Progress: opts.Progress,
 		Metrics:  opts.Metrics,
+		Journal:  opts.Journal,
 	})
 	// One annotation pass and one learning pass serve every baseline shard
 	// (scenario providers annotate and learn on their own clones).
@@ -305,6 +324,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		Baseline: MergeOutcomes(base, ev.FullScan.Status()),
 		Mission:  ev.Mission.Status(),
 		Class:    make([]Classification, u.NumFaults()),
+		Resumed:  c.Resumed(),
 		evidence: make([]int32, u.NumFaults()),
 	}
 	r.Scenarios = make([]*ScenarioResult, len(scps))
@@ -316,6 +336,18 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		r.Scenarios[i] = MergeScenarioResults(ps)
 	}
 	if pp != nil {
+		if pp.Detected == nil {
+			// The pattern provider was skipped on resume. Its union is
+			// reconstructible exactly: pattern grading is the only source of
+			// Detected entries in the mission channel.
+			det := fault.NewSet(u)
+			for id := 0; id < u.NumFaults(); id++ {
+				if ev.Mission.Get(fault.FID(id)) == fault.Detected {
+					det.Add(fault.FID(id))
+				}
+			}
+			pp.Detected = det
+		}
 		r.PatternDetected = pp.Detected
 	}
 	r.classify()

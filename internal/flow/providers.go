@@ -405,41 +405,73 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 // fresh ScenarioResult, leaving the shard results untouched (like its
 // sibling MergeOutcomes). The shards share one clone preparation, so their
 // status maps index one universe and — covering disjoint class sets by the
-// shard plan — overlay without arbitration. The merged result keeps shard
-// 0's clone, universe, site map and observation points; surplus shards of an
-// over-provisioned plan carry no Result and merge as "no classes".
+// shard plan — overlay without arbitration. The merged result keeps the
+// first live shard's clone, universe, site map and observation points
+// (shard 0 in a fully live run); surplus shards of an over-provisioned plan
+// carry no Result and merge as "no classes". Shards restored from a journal
+// (ScenarioResult.Restored) contribute only their Projected map — their
+// clone state and engine outcome died with the interrupted process — and
+// any restored shard marks the merged result Restored.
 func MergeScenarioResults(ps []*ScenarioProvider) *ScenarioResult {
 	if len(ps) == 0 {
 		return nil
 	}
-	base := ps[0].Result
-	if len(ps) == 1 || base == nil {
+	var base *ScenarioResult
+	for _, p := range ps {
+		if r := p.Result; r != nil && !r.Restored {
+			base = r
+			break
+		}
+	}
+	if base == nil {
+		for _, p := range ps {
+			if p.Result != nil {
+				base = p.Result
+				break
+			}
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	if len(ps) == 1 {
 		return base
 	}
 	merged := &ScenarioResult{
-		Scenario: base.Scenario,
-		Clone:    base.Clone,
-		Universe: base.Universe,
-		Sites:    base.Sites,
-		Obs:      base.Obs,
-		Outcome: &atpg.Outcome{
+		Scenario:  base.Scenario,
+		Clone:     base.Clone,
+		Universe:  base.Universe,
+		Sites:     base.Sites,
+		Obs:       base.Obs,
+		Outcome:   &atpg.Outcome{},
+		Projected: base.Projected.Clone(),
+		Sweep:     base.Sweep,
+		Restored:  base.Restored,
+	}
+	if !base.Restored {
+		merged.Outcome = &atpg.Outcome{
 			Stats:    base.Outcome.Stats,
 			Status:   base.Outcome.Status.Clone(),
 			Patterns: append([]sim.Pattern(nil), base.Outcome.Patterns...),
 			States:   append([]sim.Pattern(nil), base.Outcome.States...),
-		},
-		Projected: base.Projected.Clone(),
+		}
 	}
-	for _, p := range ps[1:] {
+	for _, p := range ps {
 		r := p.Result
-		if r == nil {
+		if r == nil || r == base {
+			continue
+		}
+		merged.Projected.Overlay(r.Projected)
+		if r.Restored {
+			merged.Restored = true
 			continue
 		}
 		merged.Outcome.Stats.Add(r.Outcome.Stats)
 		merged.Outcome.Patterns = append(merged.Outcome.Patterns, r.Outcome.Patterns...)
 		merged.Outcome.States = append(merged.Outcome.States, r.Outcome.States...)
-		merged.Outcome.Status.Overlay(r.Outcome.Status)
-		merged.Projected.Overlay(r.Projected)
+		if merged.Outcome.Status != nil {
+			merged.Outcome.Status.Overlay(r.Outcome.Status)
+		}
 	}
 	return merged
 }

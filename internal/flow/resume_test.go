@@ -1,0 +1,283 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"olfui/internal/constraint"
+	"olfui/internal/fault"
+	"olfui/internal/journal"
+	"olfui/internal/logic"
+	"olfui/internal/testutil"
+)
+
+func resumeScenarios() []Scenario {
+	return []Scenario{
+		{Name: "online-obs", Observe: constraint.ObserveOutputs},
+		{
+			Name:       "tied-input",
+			Transforms: []constraint.Transform{constraint.Tie{Net: "i0", Value: logic.Zero}},
+			Observe:    constraint.ObserveOutputs,
+		},
+		{
+			Name:       "reach-2",
+			Transforms: []constraint.Transform{constraint.Unroll{Frames: 2}},
+			Observe:    constraint.ObserveOutputsAndCaptures,
+		},
+	}
+}
+
+// requireNoAborts: report equivalence across kill/resume (like shard
+// invariance) is only guaranteed absent aborts — Detected and Untestable are
+// complete proofs, Aborted depends on search luck.
+func requireNoAborts(t *testing.T, r *Report, label string) {
+	t.Helper()
+	if r.Baseline.Stats.Aborted != 0 {
+		t.Fatalf("%s: baseline aborted %d classes; equivalence only holds absent aborts", label, r.Baseline.Stats.Aborted)
+	}
+	for _, sr := range r.Scenarios {
+		if sr.Outcome.Stats.Aborted != 0 {
+			t.Fatalf("%s: scenario %q aborted %d classes", label, sr.Scenario.Name, sr.Outcome.Stats.Aborted)
+		}
+	}
+}
+
+// assertReportsEquivalent compares the deliverable surface of two reports:
+// classification, merged baseline and mission statuses, projected scenario
+// verdicts, and the summary. Engine stats and pattern sets legitimately
+// differ between an uninterrupted run and a resumed one (a skipped
+// provider's work counters died with the killed process).
+func assertReportsEquivalent(t *testing.T, ref, got *Report, label string) {
+	t.Helper()
+	for id := range ref.Class {
+		if ref.Class[id] != got.Class[id] {
+			t.Fatalf("%s: fault %d classified %v, reference %v", label, id, got.Class[id], ref.Class[id])
+		}
+	}
+	for id := 0; id < ref.Universe.NumFaults(); id++ {
+		fid := fault.FID(id)
+		if ref.Baseline.Status.Get(fid) != got.Baseline.Status.Get(fid) {
+			t.Fatalf("%s: fault %d baseline %v, reference %v",
+				label, id, got.Baseline.Status.Get(fid), ref.Baseline.Status.Get(fid))
+		}
+		if ref.Mission.Get(fid) != got.Mission.Get(fid) {
+			t.Fatalf("%s: fault %d mission %v, reference %v",
+				label, id, got.Mission.Get(fid), ref.Mission.Get(fid))
+		}
+	}
+	for si := range ref.Scenarios {
+		rp, gp := ref.Scenarios[si].Projected, got.Scenarios[si].Projected
+		for id := 0; id < rp.Len(); id++ {
+			if rp.Get(fault.FID(id)) != gp.Get(fault.FID(id)) {
+				t.Fatalf("%s: scenario %q fault %d projected %v, reference %v",
+					label, ref.Scenarios[si].Scenario.Name, id, gp.Get(fault.FID(id)), rp.Get(fault.FID(id)))
+			}
+		}
+	}
+	if rs, gs := ref.Summarize(), got.Summarize(); rs != gs {
+		t.Fatalf("%s: summary %+v, reference %+v", label, gs, rs)
+	}
+}
+
+// TestKillResumeEquivalence is the acceptance property: a campaign killed
+// mid-run and resumed from its journal yields a Report identical (on the
+// deliverable surface) to the same campaign run uninterrupted, and the
+// resumed run re-executes only providers whose sources were incomplete at
+// the kill point — verified via the journal's per-source appended-delta
+// counts. Two kill points per seed: at a provider boundary (some providers
+// durably done) and mid-stream (the killed provider's partial evidence is in
+// the wal).
+func TestKillResumeEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		nl := testutil.RandomNetlist(seed, testutil.RandOpts{Inputs: 4, Gates: 16, FFs: 2, Outputs: 2})
+		scenarios := resumeScenarios()
+
+		ref, err := Run(nl, fault.NewUniverse(nl), scenarios, Options{SerialScenarios: true})
+		if err != nil {
+			t.Fatalf("seed %d reference: %v", seed, err)
+		}
+		requireNoAborts(t, ref, "reference")
+
+		kills := []struct {
+			name string
+			// cancel the campaign once the predicate holds for an observed event
+			trigger func(e Event, doneProviders, mergedDeltas int) bool
+		}{
+			{"provider-boundary", func(e Event, done, _ int) bool { return e.Done && done >= 2 }},
+			{"mid-stream", func(e Event, _, merged int) bool { return !e.Done && merged >= 1 }},
+		}
+		for _, kill := range kills {
+			dir := t.TempDir()
+
+			// Interrupted run: cancel at the kill point.
+			j1, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			doneProviders, mergedDeltas := 0, 0
+			_, err = RunCampaign(ctx, nl, fault.NewUniverse(nl), scenarios, Options{
+				SerialScenarios: true,
+				Journal:         j1,
+				Progress: func(e Event) {
+					if e.Done && e.Err == nil {
+						doneProviders++
+					} else if !e.Done {
+						mergedDeltas++
+					}
+					if kill.trigger(e, doneProviders, mergedDeltas) {
+						cancel()
+					}
+				},
+			})
+			cancel()
+			if err == nil {
+				t.Fatalf("seed %d %s: campaign finished before the kill point", seed, kill.name)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("seed %d %s: interrupted run failed with %v, want cancellation", seed, kill.name, err)
+			}
+			j1.Close()
+
+			// Resumed run over the recovered journal.
+			j2, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j2.Recovered() == nil {
+				t.Fatalf("seed %d %s: interrupted run left no journal state", seed, kill.name)
+			}
+			res, err := RunCampaign(context.Background(), nl, fault.NewUniverse(nl), scenarios, Options{
+				SerialScenarios: true,
+				Journal:         j2,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s resume: %v", seed, kill.name, err)
+			}
+			requireNoAborts(t, res, "resumed")
+
+			// Providers the journal marked done were not re-executed: the
+			// resumed process appended no deltas from their sources. The
+			// incomplete remainder really re-ran and re-journaled.
+			counts := j2.AppendedDeltas()
+			for _, name := range res.Resumed {
+				for src, n := range counts {
+					if n > 0 && ownedBy(src, name) {
+						t.Errorf("seed %d %s: resumed run appended %d deltas from %q of skipped provider %q",
+							seed, kill.name, n, src, name)
+					}
+				}
+			}
+			total := 0
+			for _, n := range counts {
+				total += n
+			}
+			if total == 0 {
+				t.Errorf("seed %d %s: resumed run re-executed nothing", seed, kill.name)
+			}
+			if kill.name == "provider-boundary" {
+				if len(res.Resumed) != 2 {
+					t.Errorf("seed %d: resumed %v, want the 2 providers done at the kill point", seed, res.Resumed)
+				}
+			}
+			for si, sr := range res.Scenarios {
+				skipped := false
+				for _, name := range res.Resumed {
+					if strings.Contains(name, sr.Scenario.Name) {
+						skipped = true
+					}
+				}
+				if skipped != sr.Restored {
+					t.Errorf("seed %d %s: scenario %d Restored=%v but skipped=%v",
+						seed, kill.name, si, sr.Restored, skipped)
+				}
+			}
+
+			assertReportsEquivalent(t, ref, res, kill.name)
+			j2.Close()
+		}
+	}
+}
+
+// TestResumeCompletedCampaign: resuming a journal whose campaign finished
+// re-executes nothing and reproduces the report.
+func TestResumeCompletedCampaign(t *testing.T) {
+	nl := testutil.RandomNetlist(5, testutil.RandOpts{Inputs: 4, Gates: 14, FFs: 1, Outputs: 2})
+	scenarios := resumeScenarios()
+	dir := t.TempDir()
+
+	j1, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunCampaign(context.Background(), nl, fault.NewUniverse(nl), scenarios, Options{Journal: j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNoAborts(t, ref, "first run")
+	j1.Close()
+
+	j2, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	res, err := RunCampaign(context.Background(), nl, fault.NewUniverse(nl), scenarios, Options{Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Resumed); got != 4 { // baseline + 3 scenarios
+		t.Fatalf("resumed %d providers (%v), want all 4", got, res.Resumed)
+	}
+	for src, n := range j2.AppendedDeltas() {
+		if n > 0 {
+			t.Errorf("fully resumed run appended %d deltas from %q", n, src)
+		}
+	}
+	assertReportsEquivalent(t, ref, res, "full resume")
+}
+
+// TestResumeRejectsForeignCampaign: a journal resumes only the campaign it
+// fingerprinted.
+func TestResumeRejectsForeignCampaign(t *testing.T) {
+	nl := testutil.RandomNetlist(9, testutil.RandOpts{Inputs: 3, Gates: 10, FFs: 1, Outputs: 1})
+	dir := t.TempDir()
+
+	j1, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaign(context.Background(), nl, fault.NewUniverse(nl),
+		[]Scenario{{Name: "a", Observe: constraint.ObserveOutputs}}, Options{Journal: j1}); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	j2, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, err = RunCampaign(context.Background(), nl, fault.NewUniverse(nl),
+		[]Scenario{{Name: "b", Observe: constraint.ObserveOutputs}}, Options{Journal: j2})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("foreign campaign accepted a journal: %v", err)
+	}
+}
+
+func TestEventErrStringAndWire(t *testing.T) {
+	e := Event{Provider: "p", Channel: ChannelMission, Source: "p@k=2", Seq: 3, Faults: 7, Done: true}
+	if e.ErrString() != "" {
+		t.Fatalf("nil error renders %q", e.ErrString())
+	}
+	e.Err = errors.New("boom")
+	if e.ErrString() != "boom" {
+		t.Fatalf("ErrString %q", e.ErrString())
+	}
+	w := e.Wire()
+	if w.Channel != "mission" || w.Err != "boom" || w.Source != "p@k=2" || !w.Done || w.Faults != 7 {
+		t.Fatalf("wire event %+v", w)
+	}
+}
