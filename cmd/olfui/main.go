@@ -58,6 +58,7 @@ type config struct {
 	frames         int
 	shards         int
 	scenarioShards int
+	noSched        bool   // fall back to static shard partitions (scheduler off)
 	sweep          bool   // adaptive sequential-depth sweep of the reach scenario
 	maxFrames      int    // sweep depth budget; 0 defaults, implies -sweep when set
 	patterns       string // stimulus file for the pattern-import provider
@@ -112,6 +113,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "full-scan baseline shards (streamed and merged)")
 	flag.IntVar(&cfg.scenarioShards, "scenario-shards", 1,
 		"per-scenario constrained-clone class shards (streamed and merged; swept scenarios are not sharded)")
+	flag.BoolVar(&cfg.noSched, "no-sched", false,
+		"disable the dynamic work-stealing scheduler: providers fall back to the static fault-class partitions -shards/-scenario-shards describe (classification identical up to aborts)")
 	flag.BoolVar(&cfg.sweep, "sweep", false,
 		"adaptively deepen the reach scenario frame by frame until its projected untestable set converges")
 	flag.IntVar(&cfg.maxFrames, "max-frames", 0,
@@ -212,7 +215,9 @@ func runCampaign(ctx context.Context, cfg config, reg *obs.Registry) (*flow.Repo
 	scenarios := bench.Scenarios(cfg.frames)
 
 	opts := flow.Options{
-		ATPG:           atpg.Options{Workers: cfg.workers, BacktrackLimit: cfg.limit, NoLearn: cfg.noLearn},
+		ATPG:           atpg.Options{BacktrackLimit: cfg.limit, NoLearn: cfg.noLearn},
+		Workers:        cfg.workers,
+		NoSched:        cfg.noSched,
 		Shards:         cfg.shards,
 		ScenarioShards: cfg.scenarioShards,
 		MaxFrames:      cfg.sweepBudget(),

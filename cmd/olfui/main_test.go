@@ -80,6 +80,78 @@ func BenchmarkCampaignBench(b *testing.B) {
 	}
 }
 
+// sweepBenchConfig is the BENCH_PR9 workload: a heavily sharded, swept
+// campaign — the configuration where the static partition fragments the
+// fault-dropping scope into k isolated per-shard remainders, and the
+// work-stealing scheduler collapses each provider group to one queue-fed
+// scope served hardest-first. The backtrack limit keeps per-class search
+// bounded so the comparison weighs scheduling policy rather than abort
+// churn (both modes abort the identical class set — the limit is per
+// class); learning is off because its build cost is mode-independent and
+// would only dilute the measured scheduling difference.
+func sweepBenchConfig(noSched bool) config {
+	return config{
+		width: 12, frames: 2, shards: 96, scenarioShards: 48,
+		sweep: true, maxFrames: 2, limit: 64, noLearn: true,
+		noSched: noSched,
+	}
+}
+
+// BenchmarkCampaignSweep measures the sharded, swept campaign under the
+// work-stealing scheduler (the default path).
+func BenchmarkCampaignSweep(b *testing.B) {
+	cfg := sweepBenchConfig(false)
+	for i := 0; i < b.N; i++ {
+		if err := runQuiet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSweepStatic measures the identical campaign on the static
+// fault.PlanShards partition (-no-sched) — the BENCH_PR9 baseline the
+// scheduler is gated against.
+func BenchmarkCampaignSweepStatic(b *testing.B) {
+	cfg := sweepBenchConfig(true)
+	for i := 0; i < b.N; i++ {
+		if err := runQuiet(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCampaignSweepSchedDigestEqual pins what makes the benchmark pair a fair
+// comparison: at the exact BENCH_PR9 configuration — backtrack limit
+// included — both modes classify every fault identically and abort the same
+// number of classes, so the measured speedup buys the same deliverable for
+// less work rather than a different one. The deeper property (classification
+// is scheduling-order-invariant whenever no verdict aborts) is covered
+// separately by flow's TestSchedulerInvariance; this test is the empirical
+// pin for the benchmark workload itself, where the limit does bound some
+// searches: a per-class backtrack cap aborts a class deterministically
+// regardless of dispatch order, so the pin is expected to hold — and if a
+// future engine change breaks it, the benchmark comparison has silently
+// become unfair and this test is the tripwire.
+func TestCampaignSweepSchedDigestEqual(t *testing.T) {
+	run := func(noSched bool) (string, atpg.Stats) {
+		r := campaignQuiet(t, sweepBenchConfig(noSched))
+		stats := r.Baseline.Stats
+		for _, sr := range r.Scenarios {
+			stats.Add(sr.Outcome.Stats)
+		}
+		return r.ClassDigest(), stats
+	}
+	schedDigest, schedStats := run(false)
+	staticDigest, staticStats := run(true)
+	if schedDigest != staticDigest {
+		t.Fatalf("classification digest %s under the scheduler, %s static", schedDigest, staticDigest)
+	}
+	if schedStats.Aborted != staticStats.Aborted {
+		t.Fatalf("aborted %d classes under the scheduler, %d static — the benchmark pair no longer does comparable work",
+			schedStats.Aborted, staticStats.Aborted)
+	}
+}
+
 // quiet runs fn with stdout silenced (tests and benchmarks should not spam).
 func quiet(fn func() error) error {
 	old := os.Stdout

@@ -78,11 +78,15 @@ type progressReporter struct {
 	untestable *obs.Counter
 	retargeted *obs.Counter
 	deltas     *obs.Counter
+	queueDepth *obs.Counter
+	steals     *obs.Counter
+	chunks     *obs.Counter
 
 	// Rate state, touched only by the ticker goroutine and (after it has
 	// joined) stopAndFlush.
 	start        time.Time
 	lastResolved int64
+	lastSteals   int64
 	lastTime     time.Time
 }
 
@@ -98,6 +102,9 @@ func newProgressReporter(w io.Writer, reg *obs.Registry, interval time.Duration)
 		untestable: reg.Counter("atpg.classes.untestable"),
 		retargeted: reg.Counter("atpg.classes.retargeted"),
 		deltas:     reg.Counter("flow.deltas"),
+		queueDepth: reg.Counter("sched.queue_depth"),
+		steals:     reg.Counter("sched.steals"),
+		chunks:     reg.Counter("sched.chunks"),
 		start:      now,
 		lastTime:   now,
 	}
@@ -153,6 +160,10 @@ func (p *progressReporter) summary(final bool) {
 		}
 		fmt.Fprintf(p.w, "  progress: %d classes resolved in %v (%.0f classes/s, %d deltas merged)\n",
 			resolved, el.Round(time.Millisecond), rate, p.deltas.Load())
+		if chunks := p.chunks.Load(); chunks > 0 {
+			fmt.Fprintf(p.w, "  sched: %d chunks leased, %d stolen, queue depth %d at exit\n",
+				chunks, p.steals.Load(), p.queueDepth.Load())
+		}
 		return
 	}
 	// Depth sweeps re-count re-targeted classes on atpg.classes; the
@@ -161,10 +172,13 @@ func (p *progressReporter) summary(final bool) {
 	classes := p.classes.Load()
 	live := classes - resolved - p.retargeted.Load()
 	rate := 0.0
+	stealRate := 0.0
+	steals := p.steals.Load()
 	if dt := now.Sub(p.lastTime).Seconds(); dt > 0 {
 		rate = float64(resolved-p.lastResolved) / dt
+		stealRate = float64(steals-p.lastSteals) / dt
 	}
-	p.lastResolved, p.lastTime = resolved, now
+	p.lastResolved, p.lastSteals, p.lastTime = resolved, steals, now
 	eta := "?"
 	if rate > 0 && live > 0 {
 		eta = time.Duration(float64(live) / rate * float64(time.Second)).Round(time.Second).String()
@@ -173,4 +187,10 @@ func (p *progressReporter) summary(final bool) {
 	}
 	fmt.Fprintf(p.w, "  progress: %d/%d classes resolved, %d live, %.0f classes/s, ETA %s\n",
 		resolved, classes, live, rate, eta)
+	if p.chunks.Load() > 0 {
+		// Scheduler view: classes not yet handed to a worker (campaign-wide
+		// across all live queues) and how hard the thieves are working.
+		fmt.Fprintf(p.w, "  sched: queue depth %d, %.1f steals/s (%d total)\n",
+			p.queueDepth.Load(), stealRate, steals)
+	}
 }

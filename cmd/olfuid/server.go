@@ -2,8 +2,6 @@ package main
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,7 +13,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"olfui/internal/atpg"
 	"olfui/internal/bench"
 	"olfui/internal/fault"
 	"olfui/internal/flow"
@@ -32,7 +29,13 @@ type runSpec struct {
 	Shards         int `json:"shards"`          // full-scan baseline shards (default 1)
 	ScenarioShards int `json:"scenario_shards"` // per-scenario class shards (default 1)
 	MaxFrames      int `json:"max_frames"`      // >0 sweeps the reach scenario to this depth budget
-	Workers        int `json:"workers"`         // ATPG worker budget (0 = NumCPU)
+	Workers        int `json:"workers"`         // campaign-wide worker budget (0 = NumCPU)
+	// NoSched disables the dynamic work-stealing scheduler: providers fall
+	// back to the static shard partitions Shards/ScenarioShards describe.
+	// NOTE: the journal fingerprint covers the provider roster, and the
+	// scheduler collapses shard groups — resume a run under the same
+	// scheduling mode it was submitted with.
+	NoSched bool `json:"no_sched"`
 	// Serial runs the campaign's providers one at a time instead of
 	// concurrently — slower, but interrupting the server then leaves a clean
 	// prefix of completed providers for resume to skip.
@@ -344,7 +347,8 @@ func (s *server) runCampaign(ctx context.Context, r *run) (*flow.Report, error) 
 	}
 	delay := time.Duration(spec.DeltaDelayMS) * time.Millisecond
 	opts := flow.Options{
-		ATPG:            atpg.Options{Workers: spec.Workers},
+		Workers:         spec.Workers,
+		NoSched:         spec.NoSched,
 		Shards:          spec.Shards,
 		ScenarioShards:  spec.ScenarioShards,
 		MaxFrames:       spec.MaxFrames,
@@ -376,7 +380,7 @@ func (r *run) persistResult(rep *flow.Report) error {
 		ID:          r.id,
 		Summary:     rep.Summarize(),
 		Resumed:     rep.Resumed,
-		ClassDigest: classDigest(rep),
+		ClassDigest: rep.ClassDigest(),
 	}
 	if err := os.WriteFile(filepath.Join(r.dir, "report.txt"), []byte(rep.String()), 0o644); err != nil {
 		return err
@@ -388,16 +392,6 @@ func (r *run) persistResult(rep *flow.Report) error {
 	r.summary = sum
 	r.mu.Unlock()
 	return nil
-}
-
-// classDigest fingerprints the per-fault classification array.
-func classDigest(rep *flow.Report) string {
-	b := make([]byte, len(rep.Class))
-	for i, c := range rep.Class {
-		b[i] = byte(c)
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
 }
 
 // submit registers a new run and enqueues it.

@@ -33,6 +33,7 @@ import (
 	"olfui/internal/logic"
 	"olfui/internal/netlist"
 	"olfui/internal/obs"
+	"olfui/internal/sched"
 	"olfui/internal/sim"
 )
 
@@ -86,6 +87,22 @@ type Options struct {
 	// the universe's structural collapse (PlanShards guarantees this);
 	// verdicts still spread to all members of the targeted classes.
 	Classes []fault.FID
+	// Source optionally replaces the strict Classes-order dispatch with a
+	// dynamic class source (sched.NewQueue): workers lease geometrically
+	// decaying chunks and steal from each other's unstarted leases, while
+	// fault dropping and the learning screen prune the queue in flight.
+	// It must be set together with Classes listing the same representatives
+	// (Stats accounting and the drop-candidate list need the full list up
+	// front). Verdict soundness is dequeue-order-invariant; only Aborted
+	// verdicts can differ from the static order, exactly as across shard
+	// plans. Nil keeps the deterministic static dispatch.
+	Source sched.Source
+	// Pool optionally gates every worker's per-class search on a
+	// campaign-global slot budget (sched.NewPool), capping concurrently
+	// searching goroutines across every provider of a campaign no matter
+	// how many GenerateAll runs overlap. Nil leaves this run's concurrency
+	// bounded only by Workers.
+	Pool *sched.Pool
 	// Sites optionally expands every targeted fault into a joint multi-site
 	// injection (fault.SiteMap.Expand): the stuck value is injected at the
 	// fault's own site and at every replica site simultaneously, and the

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"olfui/internal/fault"
 	"olfui/internal/netlist"
+	"olfui/internal/sched"
 	"olfui/internal/sim"
 )
 
@@ -80,8 +82,10 @@ type Outcome struct {
 	States   []sim.Pattern
 }
 
-// workItem pairs a targeted class representative with its engine result.
+// workItem pairs a targeted class representative with its engine result and
+// the worker that produced it (the coordinator acks per worker).
 type workItem struct {
+	wid int
 	fid fault.FID
 	res Result
 }
@@ -96,6 +100,15 @@ type workItem struct {
 // deterministic searches, while the workers keep the per-fault searches
 // parallel.
 //
+// Workers pull classes rather than being dispatched to: each drains
+// Options.Source (or an internal strict-order queue over the class list when
+// Source is nil), and a per-worker ack keeps a worker from leasing its next
+// class until the coordinator has graded its previous pattern — so fault
+// dropping sees every pattern before more search work starts, and a
+// single-worker run is fully deterministic, exactly as under the old
+// coordinator-dispatch loop. Dropped and learning-screened classes are pruned
+// from the source in flight.
+//
 // Cancelling ctx stops the run promptly — in-flight searches poll a shared
 // flag once per decision step — and returns ctx.Err() after every worker has
 // drained, so no goroutines outlive the call.
@@ -103,6 +116,9 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if opts.Source != nil && opts.Classes == nil {
+		return nil, fmt.Errorf("atpg: Options.Source requires Options.Classes to list the same representatives")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -173,21 +189,13 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 			return nil, err
 		}
 	}
-	var cancelFlag atomic.Bool
-	engines := make([]*Engine, workers)
-	for i := range engines {
-		engines[i] = NewWithAnnotations(n, ann, opts)
-		engines[i].cancel = &cancelFlag
-	}
-
-	jobs := make(chan fault.FID, workers)
-	results := make(chan workItem, workers)
-	for _, eng := range engines {
-		go func(eng *Engine) {
-			for fid := range jobs {
-				results <- workItem{fid: fid, res: eng.Generate(u.FaultOf(fid))}
-			}
-		}(eng)
+	// src is the class source workers drain. The internal static queue
+	// reproduces the legacy strict-order dispatch; a caller-supplied
+	// sched.Queue layers chunked leases and work stealing on the same
+	// worker loop, so the two paths cannot drift.
+	src := opts.Source
+	if src == nil {
+		src = sched.NewStatic(reps)
 	}
 
 	out := &Outcome{Status: status}
@@ -215,6 +223,8 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 		mDropHits     = reg.Counter("atpg.drop.hits")
 		mLearned      = reg.Counter("atpg.learned_untestable")
 		hSearch       = reg.Histogram("atpg.search_ns")
+		mQueueWait    = reg.Counter("sched.queue_wait_ns")
+		hBusy         = reg.Histogram("sched.worker_busy_ns")
 	)
 	mClasses.Add(int64(len(reps)))
 
@@ -225,6 +235,9 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 	}
 
 	unlive := func(fid fault.FID) {
+		// A resolved class needs no search: prune it from the class source
+		// too, wherever it sits (no-op when already handed to a worker).
+		src.Remove(fid)
 		i := livePos[fid]
 		if i < 0 {
 			return
@@ -259,37 +272,82 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 		}
 	}
 
-	// The coordinator owns the status map: it dispatches still-undetected
-	// classes, fault-simulates each generated pattern, and drops hits.
-	next, inFlight := 0, 0
-	dispatch := func() {
-		for inFlight < workers && next < len(reps) {
-			fid := reps[next]
-			next++
-			if status.Get(fid) != fault.Undetected {
-				continue
-			}
-			jobs <- fid
-			inFlight++
-		}
+	// Workers pull classes from src, gated per search by the (possibly nil,
+	// then ungated) campaign worker pool. The per-worker ack keeps each
+	// worker to one unprocessed result: it leases its next class only after
+	// the coordinator graded its previous pattern, so dropping prunes the
+	// source before more search work starts — the legacy dispatch pacing,
+	// now source-shaped. Spawning is skipped entirely when the screen
+	// resolved every class.
+	var cancelFlag atomic.Bool
+	numWorkers := workers
+	if numWorkers > len(live) {
+		numWorkers = len(live)
 	}
+	results := make(chan workItem, numWorkers)
+	ack := make([]chan struct{}, numWorkers)
+	var wg sync.WaitGroup
+	for wid := 0; wid < numWorkers; wid++ {
+		ack[wid] = make(chan struct{}, 1)
+		eng := NewWithAnnotations(n, ann, opts)
+		eng.cancel = &cancelFlag
+		wg.Add(1)
+		go func(wid int, eng *Engine) {
+			defer wg.Done()
+			var busy int64
+			defer func() {
+				if busy > 0 {
+					hBusy.Observe(busy)
+				}
+				// Return any unstarted lease remainder to the shared pool
+				// for other workers (this run's or, with a campaign-shared
+				// source, another's).
+				src.Release(wid)
+			}()
+			for !cancelFlag.Load() {
+				waitStart := time.Now()
+				if !opts.Pool.Acquire(ctx) {
+					return
+				}
+				fid, ok := src.Next(wid)
+				if !ok {
+					opts.Pool.Release()
+					return
+				}
+				mQueueWait.Add(time.Since(waitStart).Nanoseconds())
+				res := eng.Generate(u.FaultOf(fid))
+				opts.Pool.Release()
+				busy += res.Elapsed.Nanoseconds()
+				results <- workItem{wid: wid, fid: fid, res: res}
+				<-ack[wid]
+			}
+		}(wid, eng)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
 
-	dispatch()
+	// The coordinator owns the status map: it fault-simulates each
+	// generated pattern, drops hits, and acks the producing worker.
 	done := ctx.Done()
-	for inFlight > 0 {
+	for {
 		var w workItem
+		var open bool
 		select {
 		case <-done:
-			// Stop dispatching, interrupt in-flight searches, and keep
-			// draining results so every worker can exit through the
-			// closed jobs channel below.
+			// Interrupt in-flight searches and keep draining (and acking)
+			// results so every worker can exit.
 			cancelFlag.Store(true)
 			done = nil
 			continue
-		case w = <-results:
+		case w, open = <-results:
 		}
-		inFlight--
+		if !open {
+			break
+		}
 		if ctx.Err() != nil {
+			ack[w.wid] <- struct{}{}
 			continue
 		}
 		st.Backtracks += w.res.Backtracks
@@ -348,9 +406,8 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 				commit(w.fid, Aborted)
 			}
 		}
-		dispatch()
+		ack[w.wid] <- struct{}{}
 	}
-	close(jobs)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

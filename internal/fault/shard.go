@@ -5,6 +5,17 @@ package fault
 // today, a process or machine once the delta protocol goes over a wire).
 // Verdicts proven on a shard's classes stream back as Deltas and merge with
 // every other shard's through an Accumulator.
+//
+// Selection rule: PlanShards is the deterministic-partition mode — the plan
+// is a pure function of the universe and k, so separate processes (journal
+// replay, the olfuid wire protocol, a future distributed fleet) derive
+// identical shard boundaries with no coordination, and a provider's delta
+// source name stays meaningful across restarts. The work-stealing scheduler
+// (internal/sched, the single-machine default) replaces the static split
+// with a chunked lease queue over the same class list: better tail latency
+// and a campaign-wide fault-dropping scope, but the dispatch order is
+// dynamic, so anything that must re-derive "who owned which class" — wire
+// and journal compatibility above all — plans with PlanShards instead.
 type Shard struct {
 	Index int // 0-based shard number
 	Of    int // total shards in the plan

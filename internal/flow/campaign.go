@@ -13,6 +13,7 @@ import (
 	"olfui/internal/journal"
 	"olfui/internal/netlist"
 	"olfui/internal/obs"
+	"olfui/internal/sched"
 )
 
 // Channel names the evidence domain a provider's deltas merge into. The two
@@ -52,11 +53,20 @@ func (c Channel) String() string {
 type Env struct {
 	N        *netlist.Netlist
 	Universe *fault.Universe
-	// ATPG configures the provider's engines; Workers is this provider's
-	// share of the campaign budget. ObsPoints, Classes and Sites arrive nil
-	// — providers select their own observation points, class subset and
-	// injection site map. Metrics is pre-filled with the campaign registry.
+	// ATPG configures the provider's engines. Under the dynamic scheduler
+	// (Sched true) Workers arrives as the FULL campaign budget — the shared
+	// Pool, pre-filled into ATPG.Pool, caps how many of those workers
+	// actually search at once across all providers; under NoSched it is
+	// this provider's static share of the budget. ObsPoints, Classes and
+	// Sites arrive nil — providers select their own observation points,
+	// class subset and injection site map. Metrics is pre-filled with the
+	// campaign registry.
 	ATPG atpg.Options
+	// Sched is true when the campaign runs the dynamic work-stealing
+	// scheduler: providers should feed GenerateAll a chunked class source
+	// (sched.NewQueue via classSource) instead of relying on static
+	// dispatch order.
+	Sched bool
 	// Metrics is the campaign telemetry registry (nil when the campaign runs
 	// uninstrumented; all recording methods no-op on nil).
 	Metrics *obs.Registry
@@ -121,12 +131,26 @@ func (e Event) ErrString() string {
 
 // CampaignOptions configures a campaign run.
 type CampaignOptions struct {
-	// ATPG is the engine configuration template. Workers is the TOTAL
-	// worker budget: it is divided across concurrently running providers,
-	// remainder spread over the first Workers%len(providers) of them, so
-	// no worker is silently lost to floor division. ObsPoints and Classes
-	// must be nil — providers own both.
+	// ATPG is the engine configuration template. ObsPoints and Classes
+	// must be nil — providers own both; Source and Pool must be nil — the
+	// campaign builds its own class sources and worker pool.
 	ATPG atpg.Options
+	// Workers is the TOTAL campaign worker budget: the maximum number of
+	// concurrently searching engine workers across every provider, enforced
+	// by one shared sched.Pool in both scheduling modes. Under the dynamic
+	// scheduler every provider sees the full budget and the pool arbitrates;
+	// under NoSched the budget is additionally divided across concurrently
+	// running providers (remainder spread over the first Workers%P of them)
+	// to keep the legacy static split — the pool then catches the one case
+	// the split cannot: more providers than workers, where the historical
+	// at-least-one-worker floor oversubscribed the machine. 0 falls back to
+	// ATPG.Workers, then runtime.NumCPU().
+	Workers int
+	// NoSched disables the dynamic work-stealing scheduler: providers keep
+	// their static class order and per-provider worker shares — the
+	// deterministic legacy path. Classification is identical either way up
+	// to Aborted verdicts.
+	NoSched bool
 	// Serial runs providers one at a time in Add order, each with the full
 	// worker budget (deterministic profiling; also what the flow.Run
 	// compatibility wrapper uses for Options.SerialScenarios).
@@ -241,6 +265,16 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		// options; a caller-set one would be silently overwritten.
 		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Metrics must be nil; use CampaignOptions.Metrics")
 	}
+	if c.opts.ATPG.Source != nil {
+		// Class sources are per-provider (per-clone class lists); the
+		// campaign builds one queue per provider under the scheduler.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Source must be nil; providers build their own class sources")
+	}
+	if c.opts.ATPG.Pool != nil {
+		// The pool is the campaign-global budget; a caller-set one would be
+		// silently overwritten.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Pool must be nil; use CampaignOptions.Workers for the budget")
+	}
 	if len(c.providers) == 0 {
 		return nil, fmt.Errorf("flow: campaign has no providers")
 	}
@@ -339,7 +373,12 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		}
 	}
 
-	workers := c.budget()
+	// One pool for the whole campaign, in BOTH scheduling modes: however
+	// many providers overlap, at most `total` engine workers hold a search
+	// slot at once.
+	total := c.total()
+	pool := sched.NewPool(total, reg)
+	workers := c.budget(total)
 	runOne := func(pi int) {
 		p := c.providers[pi]
 		if js != nil {
@@ -377,9 +416,11 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		}
 		span := root.Child("provider:" + p.Name())
 		span.SetAttr("channel", p.Channel().String())
-		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG, Metrics: reg, Span: span}
+		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG, Metrics: reg, Span: span,
+			Sched: !c.opts.NoSched}
 		env.ATPG.Workers = workers[pi]
 		env.ATPG.Metrics = reg
+		env.ATPG.Pool = pool
 		err := p.Run(ctx, env, emitFor(pi))
 		mu.Lock()
 		defer mu.Unlock()
@@ -453,17 +494,29 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 	return ev, nil
 }
 
-// budget divides the total worker budget across concurrently running
-// providers: every provider gets at least one worker, and the remainder of
-// the floor division goes to the first total%P providers instead of being
-// silently dropped.
-func (c *Campaign) budget() []int {
-	total := c.opts.ATPG.Workers
-	if total <= 0 {
-		total = runtime.NumCPU()
+// total resolves the campaign-wide worker budget: CampaignOptions.Workers,
+// then the legacy ATPG.Workers, then NumCPU.
+func (c *Campaign) total() int {
+	if c.opts.Workers > 0 {
+		return c.opts.Workers
 	}
+	if c.opts.ATPG.Workers > 0 {
+		return c.opts.ATPG.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// budget picks each provider's Workers value. Under the dynamic scheduler
+// every provider gets the full budget — the shared pool arbitrates the
+// actual concurrency, so an early-finishing provider's slots flow to the
+// others instead of idling. Under NoSched the budget is divided across
+// concurrently running providers: every provider gets at least one worker
+// (the pool caps the oversubscription this floor used to allow), and the
+// remainder of the floor division goes to the first total%P providers
+// instead of being silently dropped.
+func (c *Campaign) budget(total int) []int {
 	out := make([]int, len(c.providers))
-	if c.opts.Serial || len(c.providers) == 1 {
+	if !c.opts.NoSched || c.opts.Serial || len(c.providers) == 1 {
 		for i := range out {
 			out[i] = total
 		}

@@ -67,9 +67,11 @@ func TestCampaignShardInvariance(t *testing.T) {
 		t.Fatalf("benchmark aborted %d classes; invariance only holds without aborts", ref.Baseline.Stats.Aborted)
 	}
 	// 999 exceeds the class count: the plan caps the shard count, so no
-	// empty shard ever re-runs the full universe.
+	// empty shard ever re-runs the full universe. NoSched keeps the static
+	// partition live (the default scheduler collapses shard groups), so the
+	// loop also pins the dynamic ref against every static shard count.
 	for _, k := range []int{2, 4, 999} {
-		r, err := RunCampaign(context.Background(), n, u, scenarios, Options{Shards: k})
+		r, err := RunCampaign(context.Background(), n, u, scenarios, Options{NoSched: true, Shards: k})
 		if err != nil {
 			t.Fatalf("shards=%d: %v", k, err)
 		}
@@ -104,14 +106,14 @@ func TestShardInvarianceRandom(t *testing.T) {
 				Observe:    constraint.ObserveOutputs,
 			},
 		}
-		r1, err := RunCampaign(context.Background(), nl, u, scenarios, Options{Shards: 1})
+		r1, err := RunCampaign(context.Background(), nl, u, scenarios, Options{NoSched: true, Shards: 1})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if r1.Baseline.Stats.Aborted != 0 {
 			t.Fatalf("seed %d aborted classes", seed)
 		}
-		r4, err := RunCampaign(context.Background(), nl, u, scenarios, Options{Shards: 4})
+		r4, err := RunCampaign(context.Background(), nl, u, scenarios, Options{NoSched: true, Shards: 4})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -132,7 +134,11 @@ func TestCampaignCancellation(t *testing.T) {
 	_, err := RunCampaign(ctx, nl, u, []Scenario{
 		{Name: "online-obs", Observe: constraint.ObserveOutputs},
 	}, Options{
-		Shards: 3,
+		// Static mode keeps three concurrent baseline shards to cancel
+		// across; the scheduler path's cancellation is covered separately
+		// (TestSchedulerCancellation).
+		NoSched: true,
+		Shards:  3,
 		Progress: func(Event) {
 			once.Do(cancel) // cancel on the first merged delta
 		},
@@ -319,7 +325,11 @@ func TestCampaignProgressEvents(t *testing.T) {
 	_, err := RunCampaign(context.Background(), n, u, []Scenario{
 		{Name: "online-obs", Observe: constraint.ObserveOutputs},
 	}, Options{
-		Shards: 2,
+		// The static scheduling path: shard providers keep their own names
+		// (the roster pinned below); the default scheduler would collapse
+		// them into one queue-fed provider.
+		NoSched: true,
+		Shards:  2,
 		Progress: func(e Event) {
 			mu.Lock()
 			defer mu.Unlock()

@@ -146,21 +146,38 @@ type Report struct {
 
 // Options configures a flow run.
 type Options struct {
-	// ATPG configures the engines; Workers is the total budget divided
-	// across concurrently running providers. ObsPoints and Classes must be
-	// left nil: providers carry their own observation and class selection.
+	// ATPG configures the engines. ObsPoints and Classes must be left nil
+	// (providers carry their own observation and class selection), and so
+	// must Source and Pool (the campaign builds its own class sources and
+	// worker pool).
 	ATPG atpg.Options
+	// Workers is the campaign-wide worker budget: the maximum number of
+	// concurrently searching engine workers across ALL providers, enforced
+	// by one shared sched.Pool whichever scheduling mode runs. 0 falls back
+	// to ATPG.Workers, then runtime.NumCPU().
+	Workers int
+	// NoSched disables the dynamic work-stealing scheduler (on by default):
+	// providers fall back to static fault.PlanShards partitions — Shards and
+	// ScenarioShards take effect again — and strict class-order dispatch,
+	// the fully deterministic legacy path. Classification is identical
+	// either way up to Aborted verdicts (sched package doc).
+	NoSched bool
 	// SerialScenarios disables cross-provider parallelism (useful for
 	// deterministic profiling); by default providers run concurrently.
 	SerialScenarios bool
 	// Shards splits the full-scan baseline into this many independently
-	// streamed shards (fault.PlanShards); 0 or 1 means unsharded.
+	// streamed shards (fault.PlanShards); 0 or 1 means unsharded. Under the
+	// default dynamic scheduler the count collapses to one queue-fed
+	// provider — chunked leases replace the static partition, regaining
+	// cross-shard fault dropping — so Shards only takes effect with NoSched.
 	Shards int
 	// ScenarioShards splits every scenario's constrained-clone class list
 	// into this many independently streamed shard providers (each plans the
 	// same deterministic fault.PlanShards partition on its own clone); 0 or
 	// 1 means one provider per scenario. Classification is shard-count-
 	// invariant up to Aborted verdicts, exactly like baseline sharding.
+	// Like Shards, collapses to one provider per scenario under the default
+	// dynamic scheduler.
 	ScenarioShards int
 	// MaxFrames enables the adaptive sequential-depth sweep: every scenario
 	// whose transform stack ends in a free-init constraint.Unroll runs as a
@@ -230,6 +247,12 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	if opts.ATPG.Metrics != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Metrics must be nil; use Options.Metrics for campaign telemetry")
 	}
+	if opts.ATPG.Source != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Source must be nil; providers build their own class sources")
+	}
+	if opts.ATPG.Pool != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Pool must be nil; use Options.Workers for the campaign budget")
+	}
 	seen := map[string]bool{}
 	for _, sc := range scenarios {
 		if sc.Name == "" {
@@ -243,11 +266,22 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 
 	c := NewCampaign(n, u, CampaignOptions{
 		ATPG:     opts.ATPG,
+		Workers:  opts.Workers,
+		NoSched:  opts.NoSched,
 		Serial:   opts.SerialScenarios,
 		Progress: opts.Progress,
 		Metrics:  opts.Metrics,
 		Journal:  opts.Journal,
 	})
+	// Under the dynamic scheduler a static shard partition would only split
+	// one queue's classes into isolated drop scopes: collapse each shard
+	// group to a single queue-fed provider, so one pattern's fault
+	// simulation drops classes across what would have been k shards and the
+	// clone prep, collapse and learning screen run once per group.
+	shards, scShards := opts.Shards, opts.ScenarioShards
+	if !opts.NoSched {
+		shards, scShards = 1, 1
+	}
 	// One annotation pass and one learning pass serve every baseline shard
 	// (scenario providers annotate and learn on their own clones).
 	ann, err := n.Annotate()
@@ -260,7 +294,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 			return nil, fmt.Errorf("flow: learn: %w", err)
 		}
 	}
-	base := NewBaselineProviders(u, opts.Shards)
+	base := NewBaselineProviders(u, shards)
 	for _, p := range base {
 		p.Ann = ann
 		p.Learn = learn
@@ -295,7 +329,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 			}
 			continue
 		}
-		scps[i] = NewScenarioProviders(sc, opts.ScenarioShards)
+		scps[i] = NewScenarioProviders(sc, scShards)
 		for _, p := range scps[i] {
 			if err := c.Add(p); err != nil {
 				return nil, err

@@ -3,15 +3,70 @@ package flow
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
 	"olfui/internal/fault"
+	"olfui/internal/logic"
 	"olfui/internal/netlist"
+	"olfui/internal/sched"
 	"olfui/internal/sim"
 )
+
+// classSource builds a provider's dynamic class source — a chunked,
+// work-stealing lease queue over its class list — when the campaign runs the
+// dynamic scheduler. Nil (static strict-order dispatch inside GenerateAll)
+// otherwise. The queue shares the campaign registry, so sched.* counters and
+// the queue-depth gauge aggregate across every provider of the run.
+//
+// Dispatch order is the one degree of freedom the queue owns that the static
+// path contractually lacks (static dispatch preserves the class list's
+// strict order), and the scheduler spends it on fault dropping: classes are
+// served hardest-first by SCOAP detection difficulty. A hard fault's test is
+// highly specified, so grading it against the live remainder drops many easy
+// classes wholesale — easy-first order would search those classes instead.
+// Reordering is sound for the campaign deliverable because Detected and
+// Untestable are order-invariant complete proofs; only Aborted verdicts are
+// search-order-sensitive, the same caveat static sharding already carries.
+func classSource(env Env, u *fault.Universe, ann *netlist.Annotations, classes []fault.FID) sched.Source {
+	if !env.Sched || classes == nil {
+		return nil
+	}
+	return sched.NewQueue(hardestFirst(u, ann, classes), sched.Options{
+		Workers: env.ATPG.Workers,
+		Metrics: env.Metrics,
+	})
+}
+
+// hardestFirst returns classes reordered by descending SCOAP detection
+// difficulty of the class representative: detecting stuck-at-v on net n
+// needs n controlled to ¬v and the value propagated to an observation
+// point, so the difficulty is CC(¬v)(n) + CO(n) (saturating). Ties keep
+// ascending-FID order, so the dispatch order is deterministic for a given
+// annotation pass. A nil annotation set keeps the input order; the input
+// slice is never mutated (shard plans are shared wire/journal state).
+func hardestFirst(u *fault.Universe, ann *netlist.Annotations, classes []fault.FID) []fault.FID {
+	if ann == nil || u == nil {
+		return classes
+	}
+	cost := func(fid fault.FID) int32 {
+		f := u.FaultOf(fid)
+		net := u.NetOf(f.Site)
+		return netlist.SatAdd(ann.CCOf(net, f.SA == logic.Zero), ann.CO[net])
+	}
+	ordered := append([]fault.FID(nil), classes...)
+	sort.Slice(ordered, func(i, j int) bool {
+		ci, cj := cost(ordered[i]), cost(ordered[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return ordered[i] < ordered[j]
+	})
+	return ordered
+}
 
 // deltaChunk is how many evidence entries a streaming provider buffers
 // before emitting a delta. Small enough that merged progress is visibly
@@ -120,6 +175,7 @@ func (p *BaselineProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 	var emitErr error
 	opts := env.ATPG
 	opts.Classes = p.Shard.Classes
+	opts.Source = classSource(env, env.Universe, p.Ann, p.Shard.Classes)
 	opts.Annotations = p.Ann
 	opts.Learn = p.Learn
 	opts.Progress = func(fid fault.FID, v atpg.Verdict) {
@@ -282,9 +338,13 @@ func (sp *scenarioPrep) build(env Env, sc Scenario, shardOf int) error {
 				return
 			}
 		}
-		if shardOf > 1 {
-			sp.shards = fault.PlanShards(cu, nil, shardOf)
+		// The plan is computed even for a single provider (k=1 is the full
+		// class list): providers always target an explicit class list, which
+		// is what the dynamic class source is built over.
+		if shardOf < 1 {
+			shardOf = 1
 		}
+		sp.shards = fault.PlanShards(cu, nil, shardOf)
 	})
 	return sp.err
 }
@@ -348,12 +408,12 @@ func (p *ScenarioProvider) Run(ctx context.Context, env Env, emit EmitFn) error 
 	}
 	opts.Annotations = p.prep.ann
 	opts.Learn = p.prep.learn
-	if p.ShardOf > 1 {
-		// In range by the surplus-shard early return above; PlanShards
-		// hands out non-nil class lists, so an empty shard targets nothing
-		// rather than falling back to "every class".
-		opts.Classes = p.prep.shards[p.ShardIndex].Classes
-	}
+	// In range by the surplus-shard early return above (ShardIndex is 0 for
+	// an unsharded provider); PlanShards hands out non-nil class lists, so
+	// an empty shard targets nothing rather than falling back to "every
+	// class".
+	opts.Classes = p.prep.shards[p.ShardIndex].Classes
+	opts.Source = classSource(env, cu, p.prep.ann, opts.Classes)
 	opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 		if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
 			return

@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -89,6 +91,20 @@ func (s Summary) CorrectedCoverage() float64 {
 		return 0
 	}
 	return float64(s.FullScanDetected-s.OverCounted) / float64(target)
+}
+
+// ClassDigest fingerprints the per-fault classification array (sha256 over
+// Class in fault-ID order) — the equality the scheduler- and
+// shard-invariance properties pin, and what olfuid's resume smoke compares
+// across a kill and restart. Two reports with equal digests classified
+// every fault of the universe identically.
+func (r *Report) ClassDigest() string {
+	b := make([]byte, len(r.Class))
+	for i, c := range r.Class {
+		b[i] = byte(c)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // String renders the full report: per-scenario ATPG stats, the

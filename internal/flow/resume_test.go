@@ -41,6 +41,14 @@ func requireNoAborts(t *testing.T, r *Report, label string) {
 		if sr.Outcome.Stats.Aborted != 0 {
 			t.Fatalf("%s: scenario %q aborted %d classes", label, sr.Scenario.Name, sr.Outcome.Stats.Aborted)
 		}
+		if sr.Sweep != nil {
+			for _, d := range sr.Sweep.Depths {
+				if d.Stats.Aborted != 0 {
+					t.Fatalf("%s: scenario %q k=%d aborted %d classes",
+						label, sr.Scenario.Name, d.Frames, d.Stats.Aborted)
+				}
+			}
+		}
 	}
 }
 

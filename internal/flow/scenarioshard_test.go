@@ -34,7 +34,9 @@ func TestScenarioShardInvariance(t *testing.T) {
 		run := func(shards int) *Report {
 			t.Helper()
 			u := fault.NewUniverse(nl)
-			r, err := Run(nl, u, scenarios, Options{ScenarioShards: shards})
+			// NoSched keeps the static partition live — the default
+			// scheduler collapses shard groups into one queue-fed provider.
+			r, err := Run(nl, u, scenarios, Options{NoSched: true, ScenarioShards: shards})
 			if err != nil {
 				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
 			}
@@ -96,7 +98,7 @@ func TestScenarioShardOverProvisioning(t *testing.T) {
 		Transforms: []constraint.Transform{constraint.Unroll{Frames: 2}},
 		Observe:    constraint.ObserveOutputsAndCaptures,
 	}}
-	r, err := Run(nl, u, sc, Options{ScenarioShards: 64})
+	r, err := Run(nl, u, sc, Options{NoSched: true, ScenarioShards: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

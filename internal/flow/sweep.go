@@ -230,6 +230,13 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		opts.Annotations = ann
 		opts.Learn = learn
 		opts.Classes = classes
+		// Sweep-aware depth sharding: the depth's surviving class list fans
+		// out across the campaign worker pool through a fresh lease queue —
+		// one Extend/AnnotateAppended/Learning rebuild per depth, then every
+		// worker searches the shared read-only extended clone. Depth delta
+		// sources and the convergence rule are untouched: scheduling only
+		// reorders searches within a depth.
+		opts.Source = classSource(env, cu, ann, classes)
 		opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 			if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
 				return

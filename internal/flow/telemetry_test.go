@@ -48,6 +48,10 @@ func TestRegistryMatchesStats(t *testing.T) {
 		{Name: "online-obs", Observe: constraint.ObserveOutputs},
 		reachScenario(2),
 	}, Options{
+		// Static mode keeps the shard partitions live so the summation
+		// exercises real multi-provider accounting; the scheduler path's
+		// exactness is pinned by TestSchedulerTelemetry.
+		NoSched:        true,
 		Shards:         3,
 		ScenarioShards: 2,
 		MaxFrames:      4,

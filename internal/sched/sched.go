@@ -1,0 +1,317 @@
+// Package sched provides the campaign's dynamic work-distribution
+// primitives: a chunked, lease-based class queue with work stealing (Queue)
+// and a campaign-global worker-slot pool (Pool).
+//
+// The queue replaces static fault.PlanShards class lists on the in-process
+// path: instead of fixing each worker's share up front — where a cluster of
+// hard (deep-backtrack, Aborted-prone) classes turns one shard into the
+// campaign's straggler — workers lease chunks on demand. Chunk sizes decay
+// geometrically with the remaining load (guided self-scheduling): large
+// chunks early keep lease traffic and lock contention negligible, small
+// chunks at the tail stop a single lease from hiding the last hard classes
+// from idle workers, and once the shared pool runs dry an idle worker steals
+// the unstarted half of the most loaded lease. The queue is also prunable in
+// flight: fault dropping and the learning screen remove classes that no
+// longer need a search, wherever they sit (shared pool or an unstarted
+// lease).
+//
+// A lease is the unit the planned distributed-worker protocol reuses: a
+// chunk handed to a worker is exactly the shard spec a remote worker would
+// lease over the wire, and Release — returning the unstarted remainder of a
+// lease to the shared pool — is the re-plan step for a worker that churns.
+// fault.PlanShards remains the deterministic partition for flows that need a
+// reproducible static plan (journal compatibility, cross-process shard
+// agreement without coordination); see that package's doc for the selection
+// rule.
+//
+// Verdict soundness is untouched by scheduling: Detected and Untestable are
+// complete proofs, so any dequeue order yields the same terminal statuses.
+// Only Aborted verdicts are order-sensitive (a pattern generated earlier may
+// drop a class another order would have searched to the backtrack limit),
+// exactly as with static shard plans.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"olfui/internal/fault"
+	"olfui/internal/obs"
+)
+
+// Source is the class-source contract atpg.GenerateAll drains when its
+// Options.Source hook is set: a concurrency-safe supplier of collapsed-class
+// representatives. Both the work-stealing Queue and the strict-order static
+// fallback (NewStatic) implement it; a future remote lease feed would too.
+type Source interface {
+	// Next hands worker w its next class representative; ok is false when
+	// the source is drained for good (no class will ever be returned again).
+	Next(w int) (fid fault.FID, ok bool)
+	// Remove prunes a class that no longer needs a search (dropped by fault
+	// simulation, screened by learning, resolved by another provider). It
+	// returns false when the class was already handed out or removed.
+	Remove(fid fault.FID) bool
+	// Release abandons worker w's outstanding lease, returning its unstarted
+	// classes to the shared pool — the in-process analogue of a distributed
+	// worker churning mid-lease. Safe to call for a worker holding nothing.
+	Release(w int)
+}
+
+// Per-class lifecycle inside a Queue.
+const (
+	stateQueued  uint8 = iota // in the shared pool or an unstarted lease
+	stateStarted              // handed to a worker by Next
+	stateRemoved              // pruned by Remove
+)
+
+// Options configures a Queue.
+type Options struct {
+	// Workers is the worker count the chunk-decay policy divides the
+	// remaining load by; <1 is treated as 1. It should match the consumer's
+	// concurrency but nothing breaks if it does not — worker IDs passed to
+	// Next merely index lease slots, which grow on demand.
+	Workers int
+	// MinChunk floors the lease size; <1 is treated as 1. The floor is where
+	// decay bottoms out: tail leases of MinChunk classes keep every worker
+	// busy until the queue is truly dry.
+	MinChunk int
+	// Decay scales the geometric chunk decay: a lease takes
+	// remaining/(Decay*Workers) classes, so consecutive leases shrink
+	// geometrically as the queue drains. <1 is treated as the default 2
+	// (each worker's first lease takes half its static share).
+	Decay int
+	// Metrics, when non-nil, receives the queue's instrumentation:
+	// "sched.chunks" (leases taken), "sched.steals", "sched.requeues"
+	// (classes returned by Release), and the "sched.queue_depth" gauge
+	// (classes not yet handed out, campaign-wide when queues share a
+	// registry). All nil-safe no-ops otherwise.
+	Metrics *obs.Registry
+}
+
+// Queue is the chunked, lease-based work-stealing class queue. Build one
+// with NewQueue (or NewStatic for the strict-order fallback); every method
+// is safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	workers  int
+	minChunk int
+	decay    int
+	// static disables chunking and stealing: Next pops single classes in
+	// exactly the enqueued order, reproducing the legacy dispatch loop.
+	static bool
+
+	// pending is the shared pool in enqueue order; entries before head are
+	// spent, entries at or after it are leased lazily (removed classes are
+	// skipped when popped, not compacted). Release appends requeued classes
+	// at the tail.
+	pending []fault.FID
+	head    int
+	// lease[w] is worker w's unstarted chunk remainder, consumed
+	// front-first and stolen from the tail.
+	lease [][]fault.FID
+	state map[fault.FID]uint8
+	// live counts classes not yet handed out or removed, wherever they sit.
+	live int
+
+	mChunks, mSteals, mRequeues, mDepth *obs.Counter
+}
+
+// NewQueue builds a work-stealing queue over the given class
+// representatives. The slice is copied; classes must be unique (the
+// validation GenerateAll already applies to its class list).
+func NewQueue(classes []fault.FID, opts Options) *Queue {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.MinChunk < 1 {
+		opts.MinChunk = 1
+	}
+	if opts.Decay < 1 {
+		opts.Decay = 2
+	}
+	q := &Queue{
+		workers:  opts.Workers,
+		minChunk: opts.MinChunk,
+		decay:    opts.Decay,
+		pending:  append([]fault.FID(nil), classes...),
+		state:    make(map[fault.FID]uint8, len(classes)),
+	}
+	for _, fid := range classes {
+		q.state[fid] = stateQueued
+	}
+	q.live = len(q.state)
+	reg := opts.Metrics
+	q.mChunks = reg.Counter("sched.chunks")
+	q.mSteals = reg.Counter("sched.steals")
+	q.mRequeues = reg.Counter("sched.requeues")
+	q.mDepth = reg.Counter("sched.queue_depth")
+	q.mDepth.Add(int64(q.live))
+	return q
+}
+
+// NewStatic builds the deterministic fallback source: single-class leases in
+// exactly the given order, no stealing, no instrumentation — the dispatch
+// discipline of the pre-scheduler GenerateAll, kept as one implementation so
+// the two paths cannot drift.
+func NewStatic(classes []fault.FID) *Queue {
+	q := NewQueue(classes, Options{})
+	q.static = true
+	return q
+}
+
+// Live returns the number of classes not yet handed out or removed.
+func (q *Queue) Live() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.live
+}
+
+// grow ensures lease slot w exists.
+func (q *Queue) grow(w int) {
+	if w < 0 {
+		panic(fmt.Sprintf("sched: negative worker id %d", w))
+	}
+	for len(q.lease) <= w {
+		q.lease = append(q.lease, nil)
+	}
+}
+
+// chunkSize picks the next lease size under the geometric decay policy.
+func (q *Queue) chunkSize() int {
+	if q.static {
+		return 1
+	}
+	c := q.live / (q.decay * q.workers)
+	if c < q.minChunk {
+		c = q.minChunk
+	}
+	return c
+}
+
+// Next implements Source.
+func (q *Queue) Next(w int) (fault.FID, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.grow(w)
+	for {
+		// Drain the worker's own lease first (skipping pruned classes).
+		for len(q.lease[w]) > 0 {
+			fid := q.lease[w][0]
+			q.lease[w] = q.lease[w][1:]
+			if q.state[fid] != stateQueued {
+				continue
+			}
+			return q.hand(fid)
+		}
+		if q.live == 0 {
+			return 0, false
+		}
+		// Lease a fresh chunk from the shared pool.
+		if q.head < len(q.pending) {
+			n := q.chunkSize()
+			for q.head < len(q.pending) && n > 0 {
+				fid := q.pending[q.head]
+				q.head++
+				if q.state[fid] != stateQueued {
+					continue
+				}
+				q.lease[w] = append(q.lease[w], fid)
+				n--
+			}
+			if len(q.lease[w]) > 0 {
+				q.mChunks.Inc()
+				continue
+			}
+		}
+		// The pool is dry but live classes remain: they sit in other
+		// workers' unstarted leases. Steal the tail half of the most loaded
+		// one so the queue's last hard classes spread instead of queueing
+		// behind one straggler.
+		if q.static {
+			return 0, false
+		}
+		victim, most := -1, 0
+		for v := range q.lease {
+			if v == w {
+				continue
+			}
+			if n := q.liveIn(v); n > most {
+				victim, most = v, n
+			}
+		}
+		if victim < 0 {
+			// live > 0 yet nothing in the pool or any other lease can only
+			// mean the classes are pruned-but-uncompacted; treat as drained.
+			return 0, false
+		}
+		take := (most + 1) / 2
+		vl := q.lease[victim]
+		for i := len(vl) - 1; i >= 0 && take > 0; i-- {
+			fid := vl[i]
+			vl = vl[:i]
+			if q.state[fid] != stateQueued {
+				continue
+			}
+			q.lease[w] = append(q.lease[w], fid)
+			take--
+		}
+		q.lease[victim] = vl
+		q.mSteals.Inc()
+	}
+}
+
+// liveIn counts worker v's unstarted, unpruned lease classes.
+func (q *Queue) liveIn(v int) int {
+	n := 0
+	for _, fid := range q.lease[v] {
+		if q.state[fid] == stateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// hand marks fid started and returns it. Callers hold q.mu.
+func (q *Queue) hand(fid fault.FID) (fault.FID, bool) {
+	q.state[fid] = stateStarted
+	q.live--
+	q.mDepth.Add(-1)
+	return fid, true
+}
+
+// Remove implements Source.
+func (q *Queue) Remove(fid fault.FID) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st, known := q.state[fid]
+	if !known || st != stateQueued {
+		return false
+	}
+	q.state[fid] = stateRemoved
+	q.live--
+	q.mDepth.Add(-1)
+	return true
+}
+
+// Release implements Source.
+func (q *Queue) Release(w int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if w < 0 || w >= len(q.lease) {
+		return
+	}
+	requeued := int64(0)
+	for _, fid := range q.lease[w] {
+		if q.state[fid] != stateQueued {
+			continue
+		}
+		q.pending = append(q.pending, fid)
+		requeued++
+	}
+	q.lease[w] = nil
+	if requeued > 0 {
+		q.mRequeues.Add(requeued)
+	}
+}
+
+var _ Source = (*Queue)(nil)

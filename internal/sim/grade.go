@@ -57,6 +57,7 @@ type Grader struct {
 	mPatterns   *obs.Counter
 	mWords      *obs.Counter
 	mFaultEvals *obs.Counter
+	mScreened   *obs.Counter
 }
 
 // Instrument attaches a telemetry registry. Counters:
@@ -64,13 +65,17 @@ type Grader struct {
 //	sim.grade.patterns    patterns graded (pre-packing)
 //	sim.grade.words       pattern-parallel 64-wide batches evaluated —
 //	                      patterns/(64*words) is the PV-word utilization
-//	sim.grade.fault_evals faulty-machine evaluations (per live fault per word)
+//	sim.grade.fault_evals faulty-machine cone evaluations actually run
+//	sim.grade.screened    per-word fault gradings skipped by the activation
+//	                      screen (no lane controls any site to the opposite
+//	                      of its stuck value, so no detection is possible)
 //
 // A nil registry resolves nil handles and recording stays a no-op.
 func (gr *Grader) Instrument(reg *obs.Registry) {
 	gr.mPatterns = reg.Counter("sim.grade.patterns")
 	gr.mWords = reg.Counter("sim.grade.words")
 	gr.mFaultEvals = reg.Counter("sim.grade.fault_evals")
+	gr.mScreened = reg.Counter("sim.grade.screened")
 }
 
 // NewGrader builds a grader for the netlist. Detection points are the
@@ -206,11 +211,24 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 		if detected.Has(fid) {
 			continue
 		}
+		f := gr.u.FaultOf(fid)
+		// Activation screen: a lane can only produce a definite good-vs-faulty
+		// difference if the good machine drives some injection site to the
+		// definite opposite of the stuck value there. In the remaining lanes
+		// the injection replaces v or X with v — an information-order
+		// refinement — and every gate function is monotone in Kleene logic, so
+		// the faulty machine refines the good one net-by-net and Diff (which
+		// needs definite values on both sides) can never fire at an
+		// observation point. One word test per site replaces the full cone
+		// evaluation for the (frequent) unactivated case.
+		if !gr.activated(f) {
+			gr.mScreened.Inc()
+			continue
+		}
 		// Inject the fault's whole site set — itself plus any replicas —
 		// without materializing an Injection value: this loop runs per live
 		// fault per pattern batch, so the single-site path must stay
 		// allocation-free.
-		f := gr.u.FaultOf(fid)
 		s.AddInjection(Injection{Site: f.Site, SA: f.SA, Mask: ^uint64(0)})
 		for _, rep := range gr.sm.Replicas(f.Gate) {
 			s.AddInjection(Injection{
@@ -225,6 +243,32 @@ func (gr *Grader) gradeBatch(patterns, statePatterns []Pattern, faults []fault.F
 		}
 		s.ClearInjections()
 	}
+}
+
+// activated reports whether any lane of the settled good machine drives any
+// of the fault's injection sites to the definite opposite of the stuck value
+// — the necessary condition for the injection to be more than a refinement
+// of the good values. The site's good read is its net's value (injections
+// exist only in the faulty machine), so one PV mask test per site suffices.
+func (gr *Grader) activated(f fault.Fault) bool {
+	if gr.siteActivated(gr.u.NetOf(f.Site), f.SA) {
+		return true
+	}
+	for _, rep := range gr.sm.Replicas(f.Gate) {
+		if gr.siteActivated(gr.u.NetOf(fault.Site{Gate: rep, Pin: f.Pin}), f.SA) {
+			return true
+		}
+	}
+	return false
+}
+
+// siteActivated: some lane of net's good value is the definite opposite of sa.
+func (gr *Grader) siteActivated(net netlist.NetID, sa logic.V) bool {
+	v := gr.good.vals[net]
+	if sa == logic.Zero {
+		return v.L1 != 0
+	}
+	return v.L0 != 0
 }
 
 // evalConeDetect re-settles only the injection sites' output cone on top of
