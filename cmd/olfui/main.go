@@ -61,6 +61,7 @@ type config struct {
 	noSched        bool   // fall back to static shard partitions (scheduler off)
 	sweep          bool   // adaptive sequential-depth sweep of the reach scenario
 	maxFrames      int    // sweep depth budget; 0 defaults, implies -sweep when set
+	noReplay       bool   // disable the sweep's cross-depth warm start
 	patterns       string // stimulus file for the pattern-import provider
 	noLearn        bool   // skip the static learning pass (FIRE-style screening)
 	progress       bool
@@ -88,6 +89,9 @@ func (cfg config) validate() error {
 	}
 	if cfg.resume && cfg.journalDir == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+	if cfg.noReplay && cfg.sweepBudget() == 0 {
+		return fmt.Errorf("-no-replay requires -sweep (only depth sweeps warm-start across depths)")
 	}
 	return nil
 }
@@ -119,6 +123,8 @@ func main() {
 		"adaptively deepen the reach scenario frame by frame until its projected untestable set converges")
 	flag.IntVar(&cfg.maxFrames, "max-frames", 0,
 		"depth budget for the sweep (0 = -frames+4); setting it implies -sweep")
+	flag.BoolVar(&cfg.noReplay, "no-replay", false,
+		"disable the sweep's cross-depth warm start (replaying the accumulated test set against each new depth's classes before searching, and extending graders and learning in place instead of rebuilding per depth); verdicts are unchanged, only slower")
 	flag.StringVar(&cfg.patterns, "patterns", "", "mission stimulus file to grade (see cmd/olfui/patterns.go for the format)")
 	flag.BoolVar(&cfg.noLearn, "no-learn", false,
 		"disable the static learning pass (constant propagation + recursive learning) that screens provably unactivatable faults before PODEM; verdicts are unchanged, only slower")
@@ -176,10 +182,15 @@ func runReport(ctx context.Context, cfg config, reg *obs.Registry) error {
 
 	if !cfg.noLearn {
 		// Screening telemetry: facts are summed over every learning build of
-		// the campaign (baseline, scenario clones, sweep depths), screened
-		// classes over every provider's pre-search FIRE screen.
+		// the campaign (baseline, scenario clones, sweep depths — extensions
+		// re-record the extended cache's total), screened classes over every
+		// provider's pre-search FIRE screen.
 		fmt.Printf("  learning: %d facts learned, %d classes screened untestable before search\n",
 			reg.Counter("learn.facts").Load(), reg.Counter("atpg.learned_untestable").Load())
+	}
+	if pats := reg.Counter("flow.sweep.replay.patterns").Load(); pats > 0 {
+		fmt.Printf("  replay: %d patterns replayed across depths, %d classes dropped before search\n",
+			pats, reg.Counter("flow.sweep.replay.dropped").Load())
 	}
 	printExamples(r, r.Universe)
 	if err := crossCheck(r, r.Universe); err != nil {
@@ -218,6 +229,7 @@ func runCampaign(ctx context.Context, cfg config, reg *obs.Registry) (*flow.Repo
 		ATPG:           atpg.Options{BacktrackLimit: cfg.limit, NoLearn: cfg.noLearn},
 		Workers:        cfg.workers,
 		NoSched:        cfg.noSched,
+		NoReplay:       cfg.noReplay,
 		Shards:         cfg.shards,
 		ScenarioShards: cfg.scenarioShards,
 		MaxFrames:      cfg.sweepBudget(),

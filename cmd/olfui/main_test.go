@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"olfui/internal/fault"
 	"olfui/internal/flow"
 	"olfui/internal/logic"
+	"olfui/internal/obs"
 )
 
 // BenchmarkGenerateAllBench measures the fleet driver on the olfui benchmark
@@ -117,6 +120,84 @@ func BenchmarkCampaignSweepStatic(b *testing.B) {
 		if err := runQuiet(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// runSweepCampaign is the BENCH_PR10 workload: the benchmark circuit's swept
+// mission-reach scenario alone, run through the real campaign machinery with
+// learning on and a multi-depth budget — the depth loop the cross-depth warm
+// start accelerates, undiluted by the full-scan baseline and the non-swept
+// scenarios (which cost the same either way). With the warm start on, replay
+// converts next-depth searches into pattern grading, Learning.Extend replaces
+// the per-depth fact rebuild, and the grader's simulation graph extends in
+// place; with noReplay, every depth rebuilds from scratch exactly as the
+// sweep did before the warm-start engine existed. The backtrack limit is per
+// class, so both modes abort the identical class set; it is tighter than the
+// BENCH_PR9 pair's because hard-class abort churn costs warm and cold the
+// same and would only dilute the measured warm-start difference.
+func runSweepCampaign(tb testing.TB, noReplay bool, reg *obs.Registry) *flow.SweepProvider {
+	n := bench.Build(12)
+	u := fault.NewUniverse(n)
+	reach := bench.Scenarios(2)[2] // mission-reach: the swept shape
+	c := flow.NewCampaign(n, u, flow.CampaignOptions{
+		ATPG:     atpg.Options{BacktrackLimit: 32},
+		NoReplay: noReplay,
+		Metrics:  reg,
+	})
+	sp := &flow.SweepProvider{Scenario: reach, MaxFrames: 6}
+	if err := c.Add(sp); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkCampaignSweepWarm measures the swept campaign with the cross-depth
+// warm start engaged (the default path).
+func BenchmarkCampaignSweepWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweepCampaign(b, false, nil)
+	}
+}
+
+// BenchmarkCampaignSweepNoReplay measures the identical campaign cold — the
+// BENCH_PR10 baseline the warm-start engine is gated against.
+func BenchmarkCampaignSweepNoReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweepCampaign(b, true, nil)
+	}
+}
+
+// TestCampaignSweepReplayDigestEqual pins the fairness of the BENCH_PR10 pair
+// at its exact configuration: warm and cold classify every fault of the
+// benchmark identically (byte-identical per-fault status digest) and abort
+// the same number of classes, so the measured speedup buys the same
+// deliverable for less work. It also asserts replay fires on the benchmark
+// workload, so the measured warm side exercises all three warm-start layers
+// rather than just the rebuild elimination.
+func TestCampaignSweepReplayDigestEqual(t *testing.T) {
+	digest := func(sp *flow.SweepProvider) string {
+		st := sp.Result.Outcome.Status
+		b := make([]byte, sp.Result.Universe.NumFaults())
+		for id := range b {
+			b[id] = byte(st.Get(fault.FID(id)))
+		}
+		sum := sha256.Sum256(b)
+		return hex.EncodeToString(sum[:])
+	}
+	reg := obs.New()
+	warm := runSweepCampaign(t, false, reg)
+	cold := runSweepCampaign(t, true, nil)
+	if w, c := digest(warm), digest(cold); w != c {
+		t.Fatalf("classification digest %s warm, %s cold", w, c)
+	}
+	if w, c := warm.Result.Outcome.Stats.Aborted, cold.Result.Outcome.Stats.Aborted; w != c {
+		t.Fatalf("aborted %d classes warm, %d cold — the benchmark pair no longer does comparable work", w, c)
+	}
+	if dropped := reg.Counter("flow.sweep.replay.dropped").Load(); dropped == 0 {
+		t.Fatal("replay dropped no classes on the benchmark workload — the pair no longer measures pattern replay")
 	}
 }
 
@@ -273,6 +354,7 @@ func TestFlagValidation(t *testing.T) {
 		"shards":          {config{width: 2, frames: 2, shards: 0, scenarioShards: 1}, "-shards"},
 		"scenario-shards": {config{width: 2, frames: 2, shards: 1, scenarioShards: -1}, "-scenario-shards"},
 		"max-frames":      {config{width: 2, frames: 3, shards: 1, scenarioShards: 1, maxFrames: 2}, "-max-frames"},
+		"no-replay":       {config{width: 2, frames: 2, shards: 1, scenarioShards: 1, noReplay: true}, "-no-replay"},
 	} {
 		_, _, err := runCampaign(context.Background(), tc.cfg, nil)
 		if err == nil {

@@ -73,14 +73,16 @@ type progressReporter struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	classes    *obs.Counter
-	detected   *obs.Counter
-	untestable *obs.Counter
-	retargeted *obs.Counter
-	deltas     *obs.Counter
-	queueDepth *obs.Counter
-	steals     *obs.Counter
-	chunks     *obs.Counter
+	classes       *obs.Counter
+	detected      *obs.Counter
+	untestable    *obs.Counter
+	retargeted    *obs.Counter
+	deltas        *obs.Counter
+	queueDepth    *obs.Counter
+	steals        *obs.Counter
+	chunks        *obs.Counter
+	replayPats    *obs.Counter
+	replayDropped *obs.Counter
 
 	// Rate state, touched only by the ticker goroutine and (after it has
 	// joined) stopAndFlush.
@@ -95,18 +97,20 @@ type progressReporter struct {
 func newProgressReporter(w io.Writer, reg *obs.Registry, interval time.Duration) *progressReporter {
 	now := time.Now()
 	p := &progressReporter{
-		w:          w,
-		stop:       make(chan struct{}),
-		classes:    reg.Counter("atpg.classes"),
-		detected:   reg.Counter("atpg.classes.detected"),
-		untestable: reg.Counter("atpg.classes.untestable"),
-		retargeted: reg.Counter("atpg.classes.retargeted"),
-		deltas:     reg.Counter("flow.deltas"),
-		queueDepth: reg.Counter("sched.queue_depth"),
-		steals:     reg.Counter("sched.steals"),
-		chunks:     reg.Counter("sched.chunks"),
-		start:      now,
-		lastTime:   now,
+		w:             w,
+		stop:          make(chan struct{}),
+		classes:       reg.Counter("atpg.classes"),
+		detected:      reg.Counter("atpg.classes.detected"),
+		untestable:    reg.Counter("atpg.classes.untestable"),
+		retargeted:    reg.Counter("atpg.classes.retargeted"),
+		deltas:        reg.Counter("flow.deltas"),
+		queueDepth:    reg.Counter("sched.queue_depth"),
+		steals:        reg.Counter("sched.steals"),
+		chunks:        reg.Counter("sched.chunks"),
+		replayPats:    reg.Counter("flow.sweep.replay.patterns"),
+		replayDropped: reg.Counter("flow.sweep.replay.dropped"),
+		start:         now,
+		lastTime:      now,
 	}
 	p.wg.Add(1)
 	go func() {
@@ -163,6 +167,12 @@ func (p *progressReporter) summary(final bool) {
 		if chunks := p.chunks.Load(); chunks > 0 {
 			fmt.Fprintf(p.w, "  sched: %d chunks leased, %d stolen, queue depth %d at exit\n",
 				chunks, p.steals.Load(), p.queueDepth.Load())
+		}
+		if pats := p.replayPats.Load(); pats > 0 {
+			// Warm-start view: patterns the depth sweep replayed across depths
+			// and the classes that resolved without a search because of it.
+			fmt.Fprintf(p.w, "  replay: %d patterns graded across depths, %d classes dropped before search\n",
+				pats, p.replayDropped.Load())
 		}
 		return
 	}

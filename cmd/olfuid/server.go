@@ -36,6 +36,11 @@ type runSpec struct {
 	// scheduler collapses shard groups — resume a run under the same
 	// scheduling mode it was submitted with.
 	NoSched bool `json:"no_sched"`
+	// NoReplay disables the depth sweep's cross-depth warm start — pattern
+	// replay plus in-place grader/learning extension (meaningful only with
+	// MaxFrames > 0). The journal fingerprint covers it: resume a run under
+	// the same warm-start mode it was submitted with.
+	NoReplay bool `json:"no_replay"`
 	// Serial runs the campaign's providers one at a time instead of
 	// concurrently — slower, but interrupting the server then leaves a clean
 	// prefix of completed providers for resume to skip.
@@ -349,6 +354,7 @@ func (s *server) runCampaign(ctx context.Context, r *run) (*flow.Report, error) 
 	opts := flow.Options{
 		Workers:         spec.Workers,
 		NoSched:         spec.NoSched,
+		NoReplay:        spec.NoReplay,
 		Shards:          spec.Shards,
 		ScenarioShards:  spec.ScenarioShards,
 		MaxFrames:       spec.MaxFrames,

@@ -125,6 +125,18 @@ type Options struct {
 	// member but not another void that argument; restrict such maps to
 	// Engine.GenerateInjection, which spreads nothing.
 	Sites *fault.SiteMap
+	// Grader optionally supplies a prebuilt PPSFP drop grader for the run,
+	// replacing the one GenerateAll otherwise builds. It must have been
+	// built (sim.NewGraderSites) over this run's netlist, universe,
+	// ObsPoints and Sites — GenerateAll cannot verify the match, and
+	// detection claims on differently observed or injected machines do not
+	// transfer. GenerateAll uses it only from its coordinator goroutine (a
+	// Grader is not safe for concurrent use) and does not re-Instrument it,
+	// so a caller can keep one warm grader across sequential runs on an
+	// incrementally extended clone — the depth sweep's per-depth runs share
+	// one grader via sim.Grader.Extend instead of rebuilding the forward
+	// CSR and simulator every depth. Nil builds a fresh grader per run.
+	Grader *sim.Grader
 	// Learn optionally supplies a prebuilt static learning pass
 	// (BuildLearning) for the netlist. GenerateAll consults it to emit
 	// provably untestable classes in constant time before any search

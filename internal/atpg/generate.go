@@ -152,11 +152,14 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 	// pattern only drops a fault if the difference shows at a point the
 	// scenario can actually see, and under multi-site injection it must
 	// grade the same joint faulty machine the searches reason about.
-	grader, err := sim.NewGraderSites(n, u, opts.ObsPoints, opts.Sites)
-	if err != nil {
-		return nil, err
+	grader := opts.Grader
+	if grader == nil {
+		var err error
+		if grader, err = sim.NewGraderSites(n, u, opts.ObsPoints, opts.Sites); err != nil {
+			return nil, err
+		}
+		grader.Instrument(opts.Metrics)
 	}
-	grader.Instrument(opts.Metrics)
 
 	// live is the incrementally pruned drop-candidate list: classes not yet
 	// proven Detected or Untestable. Aborted classes stay live — a later
@@ -179,12 +182,14 @@ func GenerateAll(ctx context.Context, n *netlist.Netlist, u *fault.Universe, opt
 
 	ann := opts.Annotations
 	if ann == nil {
+		var err error
 		if ann, err = n.Annotate(); err != nil {
 			return nil, err
 		}
 	}
 	learn := opts.Learn
 	if learn == nil && !opts.NoLearn {
+		var err error
 		if learn, err = BuildLearning(n, opts.Metrics); err != nil {
 			return nil, err
 		}

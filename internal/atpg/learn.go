@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"fmt"
 	"time"
 
 	"olfui/internal/fault"
@@ -35,14 +36,19 @@ import (
 // fault-free machine only, so they are independent of the observation set —
 // one Learning serves every obs selection on the same clone.
 //
-// A Learning is read-only after BuildLearning and safe to share across
-// engines, shards, and concurrent GenerateAll runs on the same netlist.
+// A Learning is read-only between BuildLearning and Extend and safe to share
+// across engines, shards, and concurrent GenerateAll runs on the same
+// netlist; every sharer must be quiescent across an Extend.
 type Learning struct {
-	n *netlist.Netlist
+	n     *netlist.Netlist
+	graph *netlist.Graph
 	// cantBe[2*net+v] — net proven unable to take value v.
 	cantBe []bool
 	facts  int
 	lits   []lit // fixpoint scratch
+	// Worklist scratch, persisted so Extend reuses BuildLearning's capacity.
+	inQueue []bool
+	queue   []netlist.GateID
 }
 
 // lit is one literal of a justification: net must take value v.
@@ -56,64 +62,153 @@ type lit struct {
 // PODEM search — recorded in the "learn.build_ns" histogram with the fact
 // count in the "learn.facts" counter.
 func BuildLearning(n *netlist.Netlist, reg *obs.Registry) (*Learning, error) {
-	start := time.Now()
 	graph, err := n.BuildGraph()
 	if err != nil {
 		return nil, err
 	}
-	l := &Learning{n: n, cantBe: make([]bool, 2*len(n.Nets))}
+	return BuildLearningOn(n, graph, reg), nil
+}
 
-	inQueue := make([]bool, len(n.Gates))
-	queue := make([]netlist.GateID, 0, len(graph.Order()))
-	push := func(g netlist.GateID) {
-		if !inQueue[g] {
-			inQueue[g] = true
-			queue = append(queue, g)
-		}
+// BuildLearningOn runs the static learning pass over a prebuilt forward
+// graph, sharing it instead of levelizing the netlist again — the depth
+// sweep hands in its warm grader's graph (sim.Grader.Graph). The graph is
+// retained: Extend requires it to have been extended (netlist.Graph.Extend)
+// before the learning is.
+func BuildLearningOn(n *netlist.Netlist, graph *netlist.Graph, reg *obs.Registry) *Learning {
+	start := time.Now()
+	l := &Learning{
+		n:       n,
+		graph:   graph,
+		cantBe:  make([]bool, 2*len(n.Nets)),
+		inQueue: make([]bool, len(n.Gates)),
+		queue:   make([]netlist.GateID, 0, len(graph.Order())),
 	}
-	mark := func(net netlist.NetID, v logic.V) {
-		idx := 2*int(net) + int(v)
-		if l.cantBe[idx] {
-			return
-		}
-		l.cantBe[idx] = true
-		l.facts++
-		for _, c := range graph.Consumers(net) {
-			push(c)
-		}
-	}
-
 	for i := range n.Gates {
 		switch n.Gates[i].Kind {
 		case netlist.KTie0:
-			mark(n.Gates[i].Out, logic.One)
+			l.mark(n.Gates[i].Out, logic.One)
 		case netlist.KTie1:
-			mark(n.Gates[i].Out, logic.Zero)
+			l.mark(n.Gates[i].Out, logic.Zero)
 		}
 	}
 	// Examine every evaluable gate at least once (topological order converges
 	// fastest), then chase newly derived facts to their consumers.
-	for _, gid := range graph.Order() {
-		push(gid)
+	l.fixpoint(graph.Order())
+
+	reg.Counter("learn.facts").Add(int64(l.facts))
+	reg.Histogram("learn.build_ns").ObserveSince(start)
+	return l
+}
+
+// Extend re-synchronizes the learning with a netlist extended in place by
+// appended frames (constraint.Unroller.Extend), recomputing facts only over
+// the changed region instead of rebuilding from scratch. order and stale are
+// the Unroller.AnnotationOrder outputs for this extension, and the shared
+// graph must already have been extended with the same order (the depth sweep
+// extends it through its grader first).
+//
+// Invalidation rule and why it is exact: every fact cantBe(net, v) is
+// determined solely by the net's transitive fanin (tie seeds plus
+// justification structure — mark derivations and resolve chains both walk
+// toward inputs). The extension changes fanin only for nets driven by
+// order[stale:] — the appended frame's gates plus everything downstream of
+// the re-spliced state chain (splice buffers, the final frame, capture
+// probes) — and that region is fanout-closed: appended and re-spliced nets
+// are read only by gates inside it. Its complement is therefore fanin-closed,
+// so facts outside the region are untouched exactly because a fresh
+// BuildLearning would re-derive them unchanged, and the fixpoint re-run over
+// order[stale:] (a valid topological suffix) converges to the same facts a
+// fresh build derives inside the region: both iterate the same monotone
+// derivation against the same fixed outside facts. Result: value-identical
+// to BuildLearning on the extended netlist, at the cost of the appended
+// region only.
+//
+// The current total fact count re-records on "learn.facts" (matching what a
+// per-depth rebuild reported) and the pass cost lands in the
+// "learn.extend_ns" histogram, beside "learn.build_ns".
+func (l *Learning) Extend(order []netlist.GateID, stale int, reg *obs.Registry) error {
+	start := time.Now()
+	if l.graph == nil {
+		return fmt.Errorf("atpg: Learning.Extend requires a shared graph (BuildLearningOn)")
 	}
-	for len(queue) > 0 {
-		gid := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		inQueue[gid] = false
+	if len(order) != len(l.graph.Order()) {
+		return fmt.Errorf("atpg: Learning.Extend order has %d gates but the shared graph has %d — extend the graph first",
+			len(order), len(l.graph.Order()))
+	}
+	if stale < 0 || stale > len(order) {
+		return fmt.Errorf("atpg: Learning.Extend stale index %d outside order of %d gates", stale, len(order))
+	}
+	n := l.n
+	for len(l.cantBe) < 2*len(n.Nets) {
+		l.cantBe = append(l.cantBe, false)
+	}
+	for len(l.inQueue) < len(n.Gates) {
+		l.inQueue = append(l.inQueue, false)
+	}
+	// Clear the changed region's facts (appended nets have none yet; the
+	// final frame's may have been derived through the old state chain), then
+	// re-derive them against the retained outside facts.
+	for _, gid := range order[stale:] {
+		out := n.Gates[gid].Out
+		if out == netlist.InvalidNet {
+			continue // KOutput marker
+		}
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			if idx := 2*int(out) + int(v); l.cantBe[idx] {
+				l.cantBe[idx] = false
+				l.facts--
+			}
+		}
+	}
+	l.fixpoint(order[stale:])
+
+	reg.Counter("learn.facts").Add(int64(l.facts))
+	reg.Histogram("learn.extend_ns").ObserveSince(start)
+	return nil
+}
+
+// push enqueues a gate for (re-)examination once.
+func (l *Learning) push(g netlist.GateID) {
+	if !l.inQueue[g] {
+		l.inQueue[g] = true
+		l.queue = append(l.queue, g)
+	}
+}
+
+// mark records a proven fact and schedules the net's consumers.
+func (l *Learning) mark(net netlist.NetID, v logic.V) {
+	idx := 2*int(net) + int(v)
+	if l.cantBe[idx] {
+		return
+	}
+	l.cantBe[idx] = true
+	l.facts++
+	for _, c := range l.graph.Consumers(net) {
+		l.push(c)
+	}
+}
+
+// fixpoint seeds the worklist with the given gates and drains it, deriving
+// facts until nothing new is provable.
+func (l *Learning) fixpoint(seed []netlist.GateID) {
+	n := l.n
+	for _, gid := range seed {
+		l.push(gid)
+	}
+	for len(l.queue) > 0 {
+		gid := l.queue[len(l.queue)-1]
+		l.queue = l.queue[:len(l.queue)-1]
+		l.inQueue[gid] = false
 		g := &n.Gates[gid]
 		if g.Out == netlist.InvalidNet {
 			continue // KOutput marker
 		}
 		for _, v := range []logic.V{logic.Zero, logic.One} {
 			if !l.cantBe[2*int(g.Out)+int(v)] && l.unjustifiable(g, v) {
-				mark(g.Out, v)
+				l.mark(g.Out, v)
 			}
 		}
 	}
-
-	reg.Counter("learn.facts").Add(int64(l.facts))
-	reg.Histogram("learn.build_ns").ObserveSince(start)
-	return l, nil
 }
 
 // Facts returns the number of (net, value) unreachability facts proven.

@@ -67,6 +67,12 @@ type Env struct {
 	// (sched.NewQueue via classSource) instead of relying on static
 	// dispatch order.
 	Sched bool
+	// NoReplay disables the depth sweep's cross-depth warm start: each
+	// depth's surviving classes go straight to the search engine instead of
+	// first being graded against the accumulated pattern pool, and graders
+	// plus learning caches rebuild per depth instead of extending in place.
+	// Classification is identical either way up to Aborted verdicts.
+	NoReplay bool
 	// Metrics is the campaign telemetry registry (nil when the campaign runs
 	// uninstrumented; all recording methods no-op on nil).
 	Metrics *obs.Registry
@@ -151,6 +157,11 @@ type CampaignOptions struct {
 	// deterministic legacy path. Classification is identical either way up
 	// to Aborted verdicts.
 	NoSched bool
+	// NoReplay disables the depth sweep's cross-depth warm start — pattern
+	// replay and in-place grader/learning extension (pattern accumulation
+	// itself is unconditional, so the converged test set is the same
+	// either way).
+	NoReplay bool
 	// Serial runs providers one at a time in Add order, each with the full
 	// worker budget (deterministic profiling; also what the flow.Run
 	// compatibility wrapper uses for Options.SerialScenarios).
@@ -274,6 +285,11 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		// The pool is the campaign-global budget; a caller-set one would be
 		// silently overwritten.
 		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Pool must be nil; use CampaignOptions.Workers for the budget")
+	}
+	if c.opts.ATPG.Grader != nil {
+		// Graders are bound to one provider's clone; providers that reuse a
+		// grader across depths build their own.
+		return nil, fmt.Errorf("flow: CampaignOptions.ATPG.Grader must be nil; providers build their own graders")
 	}
 	if len(c.providers) == 0 {
 		return nil, fmt.Errorf("flow: campaign has no providers")
@@ -417,7 +433,7 @@ func (c *Campaign) Run(ctx context.Context) (*EvidenceSet, error) {
 		span := root.Child("provider:" + p.Name())
 		span.SetAttr("channel", p.Channel().String())
 		env := Env{N: c.n, Universe: c.u, ATPG: c.opts.ATPG, Metrics: reg, Span: span,
-			Sched: !c.opts.NoSched}
+			Sched: !c.opts.NoSched, NoReplay: c.opts.NoReplay}
 		env.ATPG.Workers = workers[pi]
 		env.ATPG.Metrics = reg
 		env.ATPG.Pool = pool

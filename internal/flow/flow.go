@@ -162,6 +162,15 @@ type Options struct {
 	// the fully deterministic legacy path. Classification is identical
 	// either way up to Aborted verdicts (sched package doc).
 	NoSched bool
+	// NoReplay disables the depth sweep's cross-depth warm start (on by
+	// default): each depth's surviving classes go straight to the search
+	// engine instead of first being graded against the pattern pool the
+	// shallower depths accumulated, and every depth rebuilds its grader and
+	// learning cache from scratch instead of extending them in place over
+	// the appended frame. Classification is identical either way up to
+	// Aborted verdicts — the warm start only converts searches into sim
+	// drops. Takes effect only with MaxFrames (only sweeps warm-start).
+	NoReplay bool
 	// SerialScenarios disables cross-provider parallelism (useful for
 	// deterministic profiling); by default providers run concurrently.
 	SerialScenarios bool
@@ -253,6 +262,9 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 	if opts.ATPG.Pool != nil {
 		return nil, fmt.Errorf("flow: Options.ATPG.Pool must be nil; use Options.Workers for the campaign budget")
 	}
+	if opts.ATPG.Grader != nil {
+		return nil, fmt.Errorf("flow: Options.ATPG.Grader must be nil; providers build their own graders")
+	}
 	seen := map[string]bool{}
 	for _, sc := range scenarios {
 		if sc.Name == "" {
@@ -268,6 +280,7 @@ func RunCampaign(ctx context.Context, n *netlist.Netlist, u *fault.Universe, sce
 		ATPG:     opts.ATPG,
 		Workers:  opts.Workers,
 		NoSched:  opts.NoSched,
+		NoReplay: opts.NoReplay,
 		Serial:   opts.SerialScenarios,
 		Progress: opts.Progress,
 		Metrics:  opts.Metrics,

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"time"
 
 	"olfui/internal/fault"
 )
@@ -134,8 +135,13 @@ func (r *Report) String() string {
 			}
 			fmt.Fprintf(&b, "    depth sweep %s:\n", status)
 			for _, d := range sw.Depths {
-				fmt.Fprintf(&b, "      k=%d: %4d classes targeted, %3d new untestable (cum %3d), %v\n",
-					d.Frames, d.Classes, d.NewUntestable, d.CumUntestable, d.Stats)
+				replay := ""
+				if d.ReplayPatterns > 0 {
+					replay = fmt.Sprintf(" [replay: %d patterns dropped %d classes in %v]",
+						d.ReplayPatterns, d.ReplayDropped, time.Duration(d.ReplayNS))
+				}
+				fmt.Fprintf(&b, "      k=%d: %4d classes targeted, %3d new untestable (cum %3d), %v%s\n",
+					d.Frames, d.Classes, d.NewUntestable, d.CumUntestable, d.Stats, replay)
 			}
 		}
 	}

@@ -99,11 +99,18 @@ func (c *Campaign) fingerprint() json.RawMessage {
 		ps[i] = provMeta{Name: p.Name(), Channel: p.Channel().String()}
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	// NoReplay is part of the fingerprint because it changes which classes a
+	// sweep's per-depth sources could have aborted — resuming a replay run
+	// into a no-replay campaign (or vice versa) would mix evidence streams
+	// from differently-warmed engines. omitempty keeps default-mode
+	// fingerprints byte-identical to journals written before the flag
+	// existed, so those remain resumable.
 	raw, err := json.Marshal(struct {
 		Design    string     `json:"design"`
 		Faults    int        `json:"faults"`
+		NoReplay  bool       `json:"no_replay,omitempty"`
 		Providers []provMeta `json:"providers"`
-	}{c.n.Name, c.u.NumFaults(), ps})
+	}{c.n.Name, c.u.NumFaults(), c.opts.NoReplay, ps})
 	if err != nil {
 		panic(err) // marshal of plain strings and ints cannot fail
 	}

@@ -8,6 +8,7 @@ import (
 	"olfui/internal/atpg"
 	"olfui/internal/constraint"
 	"olfui/internal/fault"
+	"olfui/internal/logic"
 	"olfui/internal/netlist"
 	"olfui/internal/sim"
 )
@@ -18,6 +19,8 @@ type SweepDepthStats struct {
 	Frames int
 	// Classes is the number of collapsed classes targeted at this depth —
 	// classes already proven untestable at a shallower depth are dropped.
+	// Replay-dropped classes count here (they were targeted and resolved);
+	// the engine searched Classes - ReplayDropped of them.
 	Classes int
 	// NewUntestable counts the faults newly proven untestable at this depth
 	// that project onto the original universe and are mission-live (the
@@ -25,7 +28,16 @@ type SweepDepthStats struct {
 	NewUntestable int
 	// CumUntestable is the running size of that projected set.
 	CumUntestable int
-	// Stats is the depth's engine summary.
+	// ReplayPatterns counts the warm-start pool patterns replayed against
+	// this depth's surviving classes before any search (0 at the first depth
+	// and with replay disabled).
+	ReplayPatterns int
+	// ReplayDropped counts the classes the replay proved Detected at this
+	// depth, dropping them before the engine dispatched.
+	ReplayDropped int
+	// ReplayNS is the wall-clock nanoseconds the replay grading took.
+	ReplayNS int64
+	// Stats is the depth's engine summary (over the post-replay class list).
 	Stats atpg.Stats
 }
 
@@ -54,8 +66,14 @@ type SweepDepth struct {
 	Universe *fault.Universe
 	Sites    *fault.SiteMap
 	Obs      []sim.ObsPoint
-	// Status is this depth's engine outcome over Universe (class-spread).
+	// Status is this depth's outcome over Universe (class-spread). It
+	// includes the replay's Detected verdicts, so a per-depth oracle
+	// re-proves warm-start drops alongside the engine's own results.
 	Status *fault.StatusMap
+	// ReplayDetected lists the class representatives the cross-depth pattern
+	// replay proved Detected at this depth, before any search dispatched.
+	// Their classes appear Detected in Status.
+	ReplayDetected []fault.FID
 	// Stats is the depth's summary, identical to the SweepResult entry.
 	Stats SweepDepthStats
 }
@@ -123,7 +141,12 @@ func sweepableUnroll(sc Scenario) (constraint.Unroll, bool) {
 // the partition, so every member of a dropped representative's former class
 // is itself already proven untestable.
 func sweepClasses(cu *fault.Universe, cum *fault.StatusMap) []fault.FID {
-	collapse := fault.NewCollapse(cu)
+	return sweepClassesIn(fault.NewCollapse(cu), cu, cum)
+}
+
+// sweepClassesIn is sweepClasses over a caller-owned collapse — the depth
+// loop reuses the same instance to spread replay detections class-wide.
+func sweepClassesIn(collapse *fault.Collapse, cu *fault.Universe, cum *fault.StatusMap) []fault.FID {
 	classes := []fault.FID{}
 	for id := 0; id < cu.NumFaults(); id++ {
 		fid := fault.FID(id)
@@ -132,6 +155,104 @@ func sweepClasses(cu *fault.Universe, cum *fault.StatusMap) []fault.FID {
 		}
 	}
 	return classes
+}
+
+// sweepPatternPoolCap bounds the cross-depth replay pool: the pool keeps at
+// most this many distinct patterns, evicting the lowest-yield (then oldest)
+// entry when a new one arrives — so the warm start's grading cost per depth
+// is bounded no matter how many depths the sweep runs or how many patterns
+// each emits.
+const sweepPatternPoolCap = 512
+
+// patternPool is the depth sweep's warm-start test set: the deduplicated,
+// yield-ranked union of the patterns every swept depth emitted. Rows are
+// stored at the width they were generated at and lifted in place — padded
+// with trailing X over the appended frame's free inputs — when a deeper
+// depth replays them; Netlist.PrimaryInputs is gate-ID-ordered and extension
+// only appends gates, so a depth-k pattern row is always a strict prefix of
+// its depth-(k+1) lift.
+type patternPool struct {
+	pats   []sim.Pattern
+	states []sim.Pattern
+	hits   []int          // per pattern: faults credited to its replay word
+	seen   map[string]int // trailing-X-trimmed row key -> index
+}
+
+func newPatternPool() *patternPool {
+	return &patternPool{seen: map[string]int{}}
+}
+
+func (pp *patternPool) size() int { return len(pp.pats) }
+
+// key builds the width-invariant identity of a stimulus row pair: trailing X
+// values are trimmed (an X-padded lift is the same stimulus), and 0xFF —
+// not a logic.V encoding — separates the pattern from the state row.
+func (pp *patternPool) key(p, s sim.Pattern) string {
+	buf := make([]byte, 0, len(p)+len(s)+1)
+	buf = appendTrimmed(buf, p)
+	buf = append(buf, 0xFF)
+	buf = appendTrimmed(buf, s)
+	return string(buf)
+}
+
+func appendTrimmed(buf []byte, p sim.Pattern) []byte {
+	end := len(p)
+	for end > 0 && p[end-1] == logic.X {
+		end--
+	}
+	for _, v := range p[:end] {
+		buf = append(buf, byte(v))
+	}
+	return buf
+}
+
+// add inserts a pattern/state row pair, deduplicating against every resident
+// row and evicting the lowest-hits (ties: oldest) entry at capacity.
+func (pp *patternPool) add(p, s sim.Pattern) {
+	k := pp.key(p, s)
+	if _, ok := pp.seen[k]; ok {
+		return
+	}
+	if len(pp.pats) < sweepPatternPoolCap {
+		pp.seen[k] = len(pp.pats)
+		pp.pats = append(pp.pats, p)
+		pp.states = append(pp.states, s)
+		pp.hits = append(pp.hits, 0)
+		return
+	}
+	evict := 0
+	for i := 1; i < len(pp.hits); i++ {
+		if pp.hits[i] < pp.hits[evict] {
+			evict = i
+		}
+	}
+	delete(pp.seen, pp.key(pp.pats[evict], pp.states[evict]))
+	pp.seen[k] = evict
+	pp.pats[evict] = p
+	pp.states[evict] = s
+	pp.hits[evict] = 0
+}
+
+// lift pads every resident row in place with trailing X up to the given
+// widths — the appended frame's free inputs unassigned. Padding never
+// changes a row's dedup key.
+func (pp *patternPool) lift(npis, nffs int) {
+	for i := range pp.pats {
+		for len(pp.pats[i]) < npis {
+			pp.pats[i] = append(pp.pats[i], logic.X)
+		}
+		for len(pp.states[i]) < nffs {
+			pp.states[i] = append(pp.states[i], logic.X)
+		}
+	}
+}
+
+// credit adds a replay word's detections to every pattern in it — yield is
+// tracked at word granularity because grading is word-parallel.
+func (pp *patternPool) credit(lo, hi, detections int) {
+	for i := lo; i < hi; i++ {
+		pp.hits[i] += detections
+	}
 }
 
 // Run implements Provider.
@@ -173,14 +294,23 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 	if err != nil {
 		return err
 	}
+	// One warm grader serves every depth: its simulator, shared propagation
+	// graph and observation CSRs extend in place after each Unroller.Extend
+	// (Grader.Extend) instead of being rebuilt from scratch, and GenerateAll
+	// reuses the same instance for coordinator-side fault dropping via
+	// Options.Grader. An empty site map is the nil (single-site) semantics,
+	// and the shared pointer sees replica growth as frames append.
+	grader, err := sim.NewGraderSites(clone, cu, obs, sm)
+	if err != nil {
+		return err
+	}
+	grader.Instrument(env.Metrics)
 	var learn *atpg.Learning
 	if !env.ATPG.NoLearn {
-		// Learned facts are netlist properties, so the cache is rebuilt
-		// whenever the clone is extended (below) and reused as-is within a
-		// depth.
-		if learn, err = atpg.BuildLearning(clone, env.Metrics); err != nil {
-			return err
-		}
+		// Learned facts live on the grader's shared graph: built once here,
+		// then extended incrementally per depth (Learning.Extend) — only the
+		// appended frame and the re-spliced state-chain cone recompute.
+		learn = atpg.BuildLearningOn(clone, grader.Graph(), env.Metrics)
 	}
 
 	// missionLive: the fault's site net still has readers on the clone, so
@@ -192,12 +322,15 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 
 	cum := fault.NewStatusMap(cu)
 	sweep := &SweepResult{}
+	pool := newPatternPool()
 	var (
-		work             atpg.Stats // summed per-depth work counters
-		patterns, states []sim.Pattern
-		cumProjected     int
+		work         atpg.Stats // summed per-depth work counters
+		cumProjected int
 	)
 	hDepth := env.Metrics.Histogram("flow.sweep.depth_ns")
+	mReplayPats := env.Metrics.Counter("flow.sweep.replay.patterns")
+	mReplayDrop := env.Metrics.Counter("flow.sweep.replay.dropped")
+	hReplay := env.Metrics.Histogram("flow.sweep.replay.grade_ns")
 	// Re-targeting accounting: every depth re-counts its targets on the
 	// atpg.classes counter, but a re-targeted class that is not currently
 	// resolved (cum Detected resolves; Untestable never re-targets) was
@@ -211,7 +344,8 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		depth := ur.Frames()
 		depthStart := time.Now()
 		dspan := env.Span.Child(fmt.Sprintf("depth:k=%d", depth))
-		classes := sweepClasses(cu, cum)
+		collapse := fault.NewCollapse(cu)
+		classes := sweepClassesIn(collapse, cu, cum)
 		retargeted := int64(0)
 		for _, c := range classes {
 			if targeted[c] && cum.Get(c) != fault.Detected {
@@ -229,6 +363,7 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		}
 		opts.Annotations = ann
 		opts.Learn = learn
+		opts.Grader = grader
 		opts.Classes = classes
 		// Sweep-aware depth sharding: the depth's surviving class list fans
 		// out across the campaign worker pool through a fresh lease queue —
@@ -237,6 +372,64 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		// sources and the convergence rule are untouched: scheduling only
 		// reorders searches within a depth.
 		opts.Source = classSource(env, cu, ann, classes)
+		// Cross-depth warm start: replay the pool's accumulated test set,
+		// lifted to this depth (the appended frame's free inputs at X),
+		// against the surviving classes before any search dispatches.
+		// Grading any pattern on the current-depth machine with the
+		// current-depth grader is sound — a definite good-vs-faulty
+		// difference under a partial assignment holds under every completion
+		// by Kleene monotonicity — so each hit is a true Detected at this
+		// depth; lifting is only a hit-rate heuristic. Hits prune the class
+		// list handed to the engine and the lease queue in flight.
+		var (
+			replayDetected []fault.FID
+			replayPatterns int
+			replayNS       int64
+		)
+		if !env.NoReplay && pool.size() > 0 && len(classes) > 0 {
+			replayStart := time.Now()
+			pool.lift(len(clone.PrimaryInputs()), len(clone.FlipFlops()))
+			survivors := append([]fault.FID(nil), classes...)
+			for base := 0; base < pool.size() && len(survivors) > 0; base += logic.WordBits {
+				hi := base + logic.WordBits
+				if hi > pool.size() {
+					hi = pool.size()
+				}
+				replayPatterns += hi - base
+				hits := grader.Grade(pool.pats[base:hi], pool.states[base:hi], survivors)
+				if hits.Count() == 0 {
+					continue
+				}
+				pool.credit(base, hi, hits.Count())
+				kept := survivors[:0]
+				for _, fid := range survivors {
+					if !hits.Has(fid) {
+						kept = append(kept, fid)
+						continue
+					}
+					replayDetected = append(replayDetected, fid)
+					if opts.Source != nil {
+						opts.Source.Remove(fid)
+					}
+				}
+				survivors = kept
+			}
+			opts.Classes = survivors
+			replayNS = time.Since(replayStart).Nanoseconds()
+			mReplayPats.Add(int64(replayPatterns))
+			mReplayDrop.Add(int64(len(replayDetected)))
+			hReplay.Observe(replayNS)
+			// Replay-dropped classes never reach GenerateAll, so emulate the
+			// engine's accounting for them — targeted and immediately
+			// sim-dropped Detected — on both the counters here and the
+			// depth's Stats below, keeping the counters equal to the summed
+			// per-depth stats (the telemetry exactness pin) and every
+			// live-classes view (classes - resolved - retargeted) balanced
+			// exactly as if the engine had dropped them on its first pattern.
+			env.Metrics.Counter("atpg.classes").Add(int64(len(replayDetected)))
+			env.Metrics.Counter("atpg.classes.detected").Add(int64(len(replayDetected)))
+			env.Metrics.Counter("atpg.classes.sim_dropped").Add(int64(len(replayDetected)))
+		}
 		opts.Progress = func(fid fault.FID, v atpg.Verdict) {
 			if emitErr != nil || v != atpg.Untestable || !missionLive(fid) {
 				return
@@ -253,6 +446,29 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		}
 		if emitErr != nil {
 			return emitErr
+		}
+		// Spread replay hits over the depth's collapse into the engine
+		// outcome, exactly as GenerateAll spreads its own verdicts — the
+		// fold below, OnDepth observers and per-depth oracles then see
+		// warm-start drops uniformly. A targeted class is never
+		// cum-Untestable (sweepClasses excludes them, and the partition only
+		// refines across depths), so the fold never discards the spread.
+		if len(replayDetected) > 0 {
+			hit := fault.NewSet(cu)
+			for _, fid := range replayDetected {
+				hit.Add(fid)
+			}
+			for id := 0; id < cu.NumFaults(); id++ {
+				fid := fault.FID(id)
+				if hit.Has(collapse.Rep(fid)) {
+					out.Status.Set(fid, fault.Detected)
+				}
+			}
+			// Mirror of the counter bumps in the replay block: the depth's
+			// Stats count replay drops as sim-dropped detections.
+			out.Stats.Classes += len(replayDetected)
+			out.Stats.Detected += len(replayDetected)
+			out.Stats.SimDropped += len(replayDetected)
 		}
 
 		// Fold the depth into the cumulative map: untestability proofs
@@ -292,14 +508,22 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		work.Decisions += out.Stats.Decisions
 		work.Implications += out.Stats.Implications
 		work.Elapsed += out.Stats.Elapsed
-		patterns = append(patterns, out.Patterns...)
-		states = append(states, out.States...)
+		for i := range out.Patterns {
+			var st sim.Pattern
+			if i < len(out.States) {
+				st = out.States[i]
+			}
+			pool.add(out.Patterns[i], st)
+		}
 		ds := SweepDepthStats{
-			Frames:        depth,
-			Classes:       len(classes),
-			NewUntestable: newProjected,
-			CumUntestable: cumProjected,
-			Stats:         out.Stats,
+			Frames:         depth,
+			Classes:        len(classes),
+			NewUntestable:  newProjected,
+			CumUntestable:  cumProjected,
+			ReplayPatterns: replayPatterns,
+			ReplayDropped:  len(replayDetected),
+			ReplayNS:       replayNS,
+			Stats:          out.Stats,
 		}
 		sweep.Depths = append(sweep.Depths, ds)
 		// One ended child span per depth, mirroring the SweepResult entry —
@@ -308,12 +532,15 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		dspan.SetInt("classes", int64(len(classes)))
 		dspan.SetInt("new_untestable", int64(newProjected))
 		dspan.SetInt("cum_untestable", int64(cumProjected))
+		dspan.SetInt("replay_patterns", int64(replayPatterns))
+		dspan.SetInt("replay_dropped", int64(len(replayDetected)))
 		dspan.End()
 		hDepth.ObserveSince(depthStart)
 		if p.OnDepth != nil {
 			if err := p.OnDepth(SweepDepth{
 				Frames: depth, Clone: clone, Universe: cu, Sites: sm,
-				Obs: obs, Status: out.Status, Stats: ds,
+				Obs: obs, Status: out.Status, ReplayDetected: replayDetected,
+				Stats: ds,
 			}); err != nil {
 				return fmt.Errorf("depth %d observer: %w", depth, err)
 			}
@@ -341,9 +568,27 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		if ann, err = clone.AnnotateAppended(ann, order, stale); err != nil {
 			return err
 		}
-		if !env.ATPG.NoLearn {
-			if learn, err = atpg.BuildLearning(clone, env.Metrics); err != nil {
-				return err
+		// Warm-start the next depth: the grader (simulator, shared graph,
+		// observation CSRs) and the learning cache extend in place over the
+		// appended suffix instead of rebuilding from the full netlist. With
+		// the warm start disabled, every depth rebuilds both from scratch —
+		// the cold-start behavior the warm path is benchmarked against.
+		if env.NoReplay {
+			if grader, err = sim.NewGraderSites(clone, cu, obs, sm); err != nil {
+				return fmt.Errorf("rebuild grader at %d frames: %w", ur.Frames(), err)
+			}
+			grader.Instrument(env.Metrics)
+			if !env.ATPG.NoLearn {
+				learn = atpg.BuildLearningOn(clone, grader.Graph(), env.Metrics)
+			}
+		} else {
+			if err := grader.Extend(order); err != nil {
+				return fmt.Errorf("extend grader to %d frames: %w", ur.Frames(), err)
+			}
+			if learn != nil {
+				if err := learn.Extend(order, stale, env.Metrics); err != nil {
+					return fmt.Errorf("extend learning to %d frames: %w", ur.Frames(), err)
+				}
 			}
 		}
 	}
@@ -375,6 +620,10 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		}
 	}
 
+	// The converged test set is the warm-start pool — the deduplicated,
+	// capped union of every depth's patterns — lifted to the final depth's
+	// input widths so every row is one uniform stimulus for the final clone.
+	pool.lift(len(clone.PrimaryInputs()), len(clone.FlipFlops()))
 	p.Result = &ScenarioResult{
 		Scenario: p.Scenario,
 		Clone:    clone,
@@ -384,8 +633,8 @@ func (p *SweepProvider) Run(ctx context.Context, env Env, emit EmitFn) error {
 		Outcome: &atpg.Outcome{
 			Stats:    stats,
 			Status:   cum,
-			Patterns: patterns,
-			States:   states,
+			Patterns: pool.pats,
+			States:   pool.states,
 		},
 		Projected: fault.Project(cu, cum, env.Universe),
 		Sweep:     sweep,

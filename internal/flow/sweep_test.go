@@ -2,6 +2,7 @@ package flow
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -237,5 +238,82 @@ func TestSweepConfigErrors(t *testing.T) {
 	}
 	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("direct SweepProvider over a reset-init unroll: want error")
+	}
+}
+
+// TestSweepReplayDigestEqual is the warm start's acceptance pin: the
+// cross-depth warm start changes which classes are searched versus
+// sim-dropped and whether graders and learning rebuild or extend per depth,
+// never what any fault classifies as — on seeded random netlists the swept
+// classification digest is byte-identical with the warm start on and off
+// (the off side rebuilds cold every depth). The loop also asserts replay
+// actually engaged somewhere, so the equality is not vacuous.
+func TestSweepReplayDigestEqual(t *testing.T) {
+	replayDropped := int64(0)
+	for seed := int64(1); seed <= 4; seed++ {
+		n := testutil.RandomNetlist(seed, testutil.RandOpts{Inputs: 3, Gates: 14, FFs: 2, Outputs: 2})
+		u := fault.NewUniverse(n)
+		reg := obs.New()
+		warm, err := Run(n, u, []Scenario{reachScenario(2)}, Options{MaxFrames: 4, Metrics: reg})
+		if err != nil {
+			t.Fatalf("seed %d: replay run: %v", seed, err)
+		}
+		cold, err := Run(n, u, []Scenario{reachScenario(2)}, Options{MaxFrames: 4, NoReplay: true})
+		if err != nil {
+			t.Fatalf("seed %d: no-replay run: %v", seed, err)
+		}
+		if w, c := warm.ClassDigest(), cold.ClassDigest(); w != c {
+			t.Errorf("seed %d: classification digest %s with replay, %s without", seed, w, c)
+		}
+		snap := reg.Snapshot()
+		replayDropped += snap.Counter("flow.sweep.replay.dropped")
+		if pats, ns := snap.Counter("flow.sweep.replay.patterns"), len(warm.Scenarios[0].Sweep.Depths); ns >= 2 && pats == 0 {
+			t.Errorf("seed %d: %d depths swept but no patterns replayed", seed, ns)
+		}
+	}
+	if replayDropped == 0 {
+		t.Fatal("replay never dropped a class across any seed; the warm start is untested")
+	}
+}
+
+// TestSweepReplayOracle re-proves every replay-detected class by exhaustive
+// simulation, synchronously at the depth it was dropped (the clone is
+// extended afterwards): each representative the replay resolved must be
+// Detected in the depth status and genuinely detectable on the current clone
+// under the current multi-frame injection — pattern replay is a sound
+// verdict source, not just a fast one.
+func TestSweepReplayOracle(t *testing.T) {
+	totalReplayed := 0
+	for seed := int64(5); seed <= 7; seed++ {
+		n := testutil.RandomNetlist(seed, testutil.RandOpts{Inputs: 3, Gates: 12, FFs: 2, Outputs: 2})
+		u := fault.NewUniverse(n)
+		c := NewCampaign(n, u, CampaignOptions{})
+		sp := &SweepProvider{
+			Scenario:  reachScenario(2),
+			MaxFrames: 4,
+			OnDepth: func(d SweepDepth) error {
+				if len(d.ReplayDetected) == 0 {
+					return nil
+				}
+				only := fault.NewStatusMap(d.Universe)
+				for _, fid := range d.ReplayDetected {
+					if st := d.Status.Get(fid); st != fault.Detected {
+						return fmt.Errorf("k=%d: replay-detected class %d has status %v", d.Frames, fid, st)
+					}
+					only.Set(fid, fault.Detected)
+				}
+				totalReplayed += len(d.ReplayDetected)
+				return testutil.VerifyDetectedSites(d.Universe, only, d.Obs, d.Sites)
+			},
+		}
+		if err := c.Add(sp); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := c.Run(context.Background()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if totalReplayed == 0 {
+		t.Fatal("replay never dropped a class across any seed; the oracle re-proof is vacuous")
 	}
 }

@@ -131,6 +131,56 @@ func NewGraderSites(n *netlist.Netlist, u *fault.Universe, obsPts []ObsPoint, sm
 	return gr, nil
 }
 
+// Graph returns the grader's forward-propagation index — the one instance
+// shared with its internal simulator. It is read-only between Extends, so
+// other per-clone passes (the static learning pass) can build on it instead
+// of re-levelizing the netlist.
+func (gr *Grader) Graph() *netlist.Graph { return gr.graph }
+
+// Extend re-synchronizes the grader with a netlist that grew by appended
+// gates and nets since construction (constraint.Unroller.Extend): the shared
+// graph and good machine extend in place from the supplied topological order
+// (netlist.Graph.Extend documents the order contract), the input and
+// flip-flop lists are re-read, per-gate/per-net scratch grows — zero epoch
+// stamps are always stale, so appended entries need no initialization — and
+// the observation CSRs are rebuilt over the new key ranges. The observation
+// points themselves, the universe and the site map are the ones supplied at
+// construction: the unroll extension contract keeps all three valid (capture
+// probes never move, appended gates are site-free, replica growth is visible
+// through the shared SiteMap). This is what lets a depth sweep keep one warm
+// grader instead of rebuilding the full CSR and simulator per depth.
+func (gr *Grader) Extend(order []netlist.GateID) error {
+	if err := gr.good.Extend(order); err != nil {
+		return err
+	}
+	gr.pis = gr.n.PrimaryInputs()
+	gr.ffs = gr.n.FlipFlops()
+	for len(gr.piVals) < len(gr.pis) {
+		gr.piVals = append(gr.piVals, logic.PV{})
+	}
+	gr.piVals = gr.piVals[:len(gr.pis)]
+	for len(gr.ffVals) < len(gr.ffs) {
+		gr.ffVals = append(gr.ffVals, logic.PV{})
+	}
+	gr.ffVals = gr.ffVals[:len(gr.ffs)]
+	for len(gr.sched) < len(gr.n.Gates) {
+		gr.sched = append(gr.sched, 0)
+	}
+	for len(gr.chStamp) < len(gr.n.Nets) {
+		gr.chStamp = append(gr.chStamp, 0)
+	}
+	for len(gr.chIdx) < len(gr.n.Nets) {
+		gr.chIdx = append(gr.chIdx, 0)
+	}
+	gr.obsNetStart, gr.obsNetIdx = buildObsCSR(len(gr.n.Nets), gr.obs, func(p ObsPoint) int32 {
+		return int32(gr.n.Gates[p.Gate].Ins[p.Pin])
+	})
+	gr.obsGateStart, gr.obsGateIdx = buildObsCSR(len(gr.n.Gates), gr.obs, func(p ObsPoint) int32 {
+		return int32(p.Gate)
+	})
+	return nil
+}
+
 // buildObsCSR groups observation-point indices by an int32 key (net or gate).
 func buildObsCSR(keys int, obsPts []ObsPoint, keyOf func(ObsPoint) int32) (start, idx []int32) {
 	start = make([]int32, keys+1)

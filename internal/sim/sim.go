@@ -75,6 +75,37 @@ func New(n *netlist.Netlist) (*Simulator, error) {
 // Graph returns the simulator's forward-propagation index (shared, read-only).
 func (s *Simulator) Graph() *netlist.Graph { return s.graph }
 
+// Extend re-synchronizes the simulator with a netlist that grew by appended
+// gates and nets since New (e.g. constraint.Unroller.Extend): the shared
+// graph is extended in place from the supplied topological order (see
+// netlist.Graph.Extend for the order contract), new nets start at X, and the
+// source and flip-flop lists are recomputed — appending can both add sources
+// (synthetic inputs) and retire flip-flops (splice tombstones). State on
+// pre-existing nets is preserved. Injections must be clear across the call.
+func (s *Simulator) Extend(order []netlist.GateID) error {
+	if err := s.graph.Extend(s.N, order); err != nil {
+		return err
+	}
+	for len(s.vals) < len(s.N.Nets) {
+		s.vals = append(s.vals, logic.PVSplat(logic.X))
+	}
+	for len(s.next) < len(s.N.Gates) {
+		s.next = append(s.next, logic.PV{})
+	}
+	for len(s.injByGate) < len(s.N.Gates) {
+		s.injByGate = append(s.injByGate, nil)
+	}
+	s.sources = s.sources[:0]
+	for i := range s.N.Gates {
+		switch s.N.Gates[i].Kind {
+		case netlist.KTie0, netlist.KTie1, netlist.KInput, netlist.KDFF, netlist.KDFFR:
+			s.sources = append(s.sources, netlist.GateID(i))
+		}
+	}
+	s.ffs = s.N.FlipFlops()
+	return nil
+}
+
 // AddInjection registers a stuck-at injection. Call ClearInjections to
 // remove all of them.
 func (s *Simulator) AddInjection(in Injection) {
